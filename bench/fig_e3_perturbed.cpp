@@ -1,0 +1,111 @@
+// E3: Lemma 2 — perturbed affine averaging stays inside the envelope
+//   n^(a/2) ((1-1/(2n))^(t/2) ||y0|| + 8 sqrt(2) n^1.5 eps)
+// with probability >= 1 - 5/n^a, and the error stalls at a noise floor
+// (the reason the paper shrinks eps_r per hierarchy level).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/complete_graph_model.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace gg = geogossip;
+
+int main(int argc, char** argv) {
+  std::int64_t n = 64;
+  std::int64_t trials = 300;
+  std::int64_t seed = 31;
+  double a = 1.0;
+  std::string noises = "1e-6,1e-5,1e-4";
+  std::string csv_path;
+
+  gg::ArgParser parser("fig_e3_perturbed",
+                       "E3: Lemma 2 perturbed-averaging envelope");
+  parser.add_flag("n", &n, "complete-graph size");
+  parser.add_flag("trials", &trials, "independent runs per configuration");
+  parser.add_flag("seed", &seed, "master seed");
+  parser.add_flag("a", &a, "Lemma 2 exponent a");
+  parser.add_flag("noises", &noises, "comma-separated noise bounds eps");
+  parser.add_flag("csv", &csv_path, "also write results to a CSV file");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto nn = static_cast<std::size_t>(n);
+  std::cout << "=== E3: Lemma 2 envelope on K_" << nn << " (a=" << a
+            << ", allowed failure 5/n^a = "
+            << gg::format_fixed(gg::core::lemma2_failure_probability(nn, a), 4)
+            << ") ===\n\n";
+
+  std::vector<double> y0(nn, 0.0);
+  y0[0] = 1.0;
+  y0[1] = -1.0;
+  const double y0_norm = std::sqrt(2.0);
+
+  std::unique_ptr<gg::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gg::CsvWriter>(csv_path);
+    csv->header({"noise", "t", "mean_norm", "p95_norm", "envelope",
+                 "violation_rate"});
+  }
+
+  gg::ConsoleTable table({"noise", "t", "mean ||y||", "p95 ||y||",
+                          "envelope", "violations", "ok"});
+  for (const auto& noise_text : gg::split(noises, ',')) {
+    const double noise = gg::parse_double(noise_text);
+    for (const std::uint64_t t : {2 * nn, 8 * nn, 32 * nn, 128 * nn}) {
+      std::vector<double> norms;
+      norms.reserve(static_cast<std::size_t>(trials));
+      for (std::int64_t trial = 0; trial < trials; ++trial) {
+        gg::Rng rng(gg::derive_seed(
+            static_cast<std::uint64_t>(seed),
+            static_cast<std::uint64_t>(trial) ^ (t << 18)));
+        gg::core::CompleteGraphConfig config;
+        config.n = nn;
+        config.noise_bound = noise;
+        gg::core::CompleteGraphModel model(config, y0, rng);
+        model.run(t);
+        norms.push_back(std::sqrt(model.norm_squared()));
+      }
+      const double envelope =
+          gg::core::lemma2_envelope(nn, t, a, y0_norm, noise);
+      double mean = 0.0;
+      std::uint64_t violations = 0;
+      for (const double v : norms) {
+        mean += v;
+        if (v > envelope) ++violations;
+      }
+      mean /= static_cast<double>(norms.size());
+      std::sort(norms.begin(), norms.end());
+      const double p95 = norms[static_cast<std::size_t>(
+          0.95 * static_cast<double>(norms.size() - 1))];
+      const double violation_rate =
+          static_cast<double>(violations) / static_cast<double>(trials);
+      const double allowed =
+          gg::core::lemma2_failure_probability(nn, a);
+
+      table.cell(gg::format_sci(noise, 0))
+          .cell(t)
+          .cell(gg::format_sci(mean, 2))
+          .cell(gg::format_sci(p95, 2))
+          .cell(gg::format_sci(envelope, 2))
+          .cell(gg::format_fixed(violation_rate, 4))
+          .cell(violation_rate <= allowed + 0.03 ? "yes" : "NO");
+      table.end_row();
+      if (csv) {
+        csv->field(noise).field(t).field(mean).field(p95).field(envelope)
+            .field(violation_rate);
+        csv->end_row();
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNoise floor: with per-step |nu| < eps the norm stalls at\n"
+               "Theta(n) * eps instead of contracting to 0 — compare the\n"
+               "mean at t = 128 n across the noise column; this is why the\n"
+               "paper tightens eps_r per hierarchy level (Lemma 2 / §6).\n";
+  return 0;
+}

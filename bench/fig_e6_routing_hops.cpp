@@ -1,0 +1,89 @@
+// E6: greedy geographic routing costs O(sqrt(n / log n)) hops w.h.p. —
+// the per-exchange cost term in §3 / Observation 1 (via Dimakis et al.).
+//
+// Sweeps n, measures hop counts over random pairs, fits the power law and
+// compares against the sqrt(n / log n) prediction, and reports delivery
+// rates (greedy dead ends are possible but rare at the paper's radius).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "graph/geometric_graph.hpp"
+#include "routing/route_stats.hpp"
+#include "stats/regression.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace gg = geogossip;
+
+int main(int argc, char** argv) {
+  std::int64_t pairs = 2000;
+  std::int64_t seed = 51;
+  double radius_multiplier = 1.2;
+  std::string sizes = "1024,2048,4096,8192,16384,32768,65536";
+  std::string csv_path;
+
+  gg::ArgParser parser("fig_e6_routing_hops",
+                       "E6: greedy routing hop scaling");
+  parser.add_flag("pairs", &pairs, "random source/destination pairs per n");
+  parser.add_flag("seed", &seed, "master seed");
+  parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
+  parser.add_flag("sizes", &sizes, "comma-separated n values");
+  parser.add_flag("csv", &csv_path, "also write results to a CSV file");
+  if (!parser.parse(argc, argv)) return 0;
+
+  std::cout << "=== E6: greedy geographic routing hops (r = "
+            << radius_multiplier << " sqrt(log n / n)) ===\n\n";
+
+  std::unique_ptr<gg::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gg::CsvWriter>(csv_path);
+    csv->header({"n", "mean_hops", "max_hops", "stretch", "delivery",
+                 "prediction"});
+  }
+
+  gg::ConsoleTable table({"n", "mean hops", "max", "stretch", "delivery%",
+                          "sqrt(n/log n)"});
+  std::vector<double> ns;
+  std::vector<double> mean_hops;
+  for (const auto& size_text : gg::split(sizes, ',')) {
+    const auto n = static_cast<std::size_t>(gg::parse_int(size_text));
+    gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(seed), n));
+    const auto graph =
+        gg::graph::GeometricGraph::sample(n, radius_multiplier, rng);
+    const auto campaign = gg::routing::measure_routes(
+        graph, static_cast<std::uint64_t>(pairs), rng);
+
+    const double prediction =
+        std::sqrt(static_cast<double>(n) / std::log(static_cast<double>(n)));
+    table.cell(gg::format_count(n))
+        .cell(gg::format_fixed(campaign.hops.mean(), 1))
+        .cell(gg::format_fixed(campaign.hops.max(), 0))
+        .cell(gg::format_fixed(campaign.stretch.mean(), 2))
+        .cell(gg::format_fixed(100.0 * campaign.delivery_rate(), 2))
+        .cell(gg::format_fixed(prediction, 1));
+    table.end_row();
+    if (csv) {
+      csv->field(static_cast<std::uint64_t>(n))
+          .field(campaign.hops.mean())
+          .field(campaign.hops.max())
+          .field(campaign.stretch.mean())
+          .field(campaign.delivery_rate())
+          .field(prediction);
+      csv->end_row();
+    }
+    ns.push_back(static_cast<double>(n));
+    mean_hops.push_back(campaign.hops.mean());
+  }
+  table.print(std::cout);
+
+  if (ns.size() >= 3) {
+    const auto fit = gg::stats::fit_power_law(ns, mean_hops);
+    std::cout << "\nfitted: hops " << fit.to_string()
+              << "\nexpected exponent ~0.5 minus the log n correction "
+                 "(sqrt(n / log n)).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E8: the Chernoff occupancy argument of §3 — with ~sqrt(n) partition
+// squares, every square holds (1 +- 1/10) sqrt(n) sensors w.h.p., which is
+// what places the effective alphas inside (1/3, 1/2).
+//
+// Measures the worst relative occupancy deviation across the partition, the
+// fraction of trials where ALL squares are within 10%, the implied alpha
+// range under beta = (2/5) E#, and the Chernoff union-bound prediction.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/affine.hpp"
+#include "geometry/grid.hpp"
+#include "geometry/sampling.hpp"
+#include "stats/chernoff.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace gg = geogossip;
+
+int main(int argc, char** argv) {
+  std::int64_t trials = 200;
+  std::int64_t seed = 71;
+  std::string sizes = "1024,4096,16384,65536,262144,1048576";
+  std::string csv_path;
+
+  gg::ArgParser parser("fig_e8_occupancy",
+                       "E8: occupancy concentration across the partition");
+  parser.add_flag("trials", &trials, "deployments per n");
+  parser.add_flag("seed", &seed, "master seed");
+  parser.add_flag("sizes", &sizes, "comma-separated n values");
+  parser.add_flag("csv", &csv_path, "also write results to a CSV file");
+  if (!parser.parse(argc, argv)) return 0;
+
+  std::cout << "=== E8: sqrt(n)-square occupancy concentration (paper §3) "
+               "===\n\n";
+
+  std::unique_ptr<gg::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gg::CsvWriter>(csv_path);
+    csv->header({"n", "squares", "mean_max_dev", "p_all_within_10pct",
+                 "chernoff_bound", "alpha_lo", "alpha_hi"});
+  }
+
+  gg::ConsoleTable table({"n", "squares", "E#/square", "mean max|dev|",
+                          "P(all<10%)", "1-Chernoff", "alpha range"});
+  for (const auto& size_text : gg::split(sizes, ',')) {
+    const auto n = static_cast<std::size_t>(gg::parse_int(size_text));
+    const auto squares = gg::geometry::paper_subsquare_count(
+        static_cast<double>(n));
+    const int side = static_cast<int>(std::llround(
+        std::sqrt(static_cast<double>(squares))));
+    const double expected =
+        static_cast<double>(n) / static_cast<double>(squares);
+
+    double max_dev_total = 0.0;
+    std::uint64_t all_within = 0;
+    double alpha_min = 1.0;
+    double alpha_max = 0.0;
+    const double beta = gg::core::far_beta(expected);
+    for (std::int64_t trial = 0; trial < trials; ++trial) {
+      gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(seed),
+                                  (n << 16) ^
+                                      static_cast<std::uint64_t>(trial)));
+      const auto points = gg::geometry::sample_unit_square(n, rng);
+      const gg::geometry::SquareGrid grid(gg::geometry::Rect::unit_square(),
+                                          side);
+      const auto occupancy = grid.occupancy(points);
+      double worst = 0.0;
+      for (const auto count : occupancy) {
+        const double dev =
+            std::abs(static_cast<double>(count) / expected - 1.0);
+        worst = std::max(worst, dev);
+        if (count > 0) {
+          const double alpha = beta / static_cast<double>(count);
+          alpha_min = std::min(alpha_min, alpha);
+          alpha_max = std::max(alpha_max, alpha);
+        }
+      }
+      max_dev_total += worst;
+      if (worst < 0.1) ++all_within;
+    }
+    const double mean_max_dev =
+        max_dev_total / static_cast<double>(trials);
+    const double p_all =
+        static_cast<double>(all_within) / static_cast<double>(trials);
+    const double chernoff = 1.0 - gg::stats::occupancy_deviation_bound(
+                                      expected, 0.1,
+                                      static_cast<std::size_t>(squares));
+
+    table.cell(gg::format_count(n))
+        .cell(static_cast<std::uint64_t>(squares))
+        .cell(gg::format_fixed(expected, 1))
+        .cell(gg::format_fixed(mean_max_dev, 3))
+        .cell(gg::format_fixed(p_all, 3))
+        .cell(gg::format_fixed(std::max(0.0, chernoff), 3))
+        .cell("(" + gg::format_fixed(alpha_min, 3) + ", " +
+              gg::format_fixed(alpha_max, 3) + ")");
+    table.end_row();
+    if (csv) {
+      csv->field(static_cast<std::uint64_t>(n))
+          .field(static_cast<std::uint64_t>(squares))
+          .field(mean_max_dev)
+          .field(p_all)
+          .field(std::max(0.0, chernoff))
+          .field(alpha_min)
+          .field(alpha_max);
+      csv->end_row();
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nThe paper needs alpha = beta/#(square) in (1/3, 1/2), i.e. every\n"
+         "square within ~10-20% of E#.  The measured max deviation shrinks\n"
+         "as n grows (E# = sqrt(n) -> relative fluctuation n^-1/4), but at\n"
+         "simulable n it exceeds 10% — exactly why the harmonic-beta mode\n"
+         "exists (DESIGN.md §2) and why the paper's constants demand\n"
+         "(log n)^8-sized leaves.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Google-benchmark micro-kernels: regression guardrails for the inner-loop
+// primitives every simulation spends its time in.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/affine.hpp"
+#include "geometry/sampling.hpp"
+#include "geometry/spatial_index.hpp"
+#include "graph/geometric_graph.hpp"
+#include "routing/greedy.hpp"
+#include "sim/clock.hpp"
+#include "support/rng.hpp"
+
+namespace gg = geogossip;
+
+namespace {
+
+void BM_AffinePairUpdate(benchmark::State& state) {
+  gg::Rng rng(1);
+  double xi = rng.normal();
+  double xj = rng.normal();
+  const double ai = gg::core::draw_alpha(rng);
+  const double aj = gg::core::draw_alpha(rng);
+  for (auto _ : state) {
+    gg::core::affine_pair_update(xi, xj, ai, aj);
+    benchmark::DoNotOptimize(xi);
+    benchmark::DoNotOptimize(xj);
+  }
+}
+BENCHMARK(BM_AffinePairUpdate);
+
+void BM_RngBelow(benchmark::State& state) {
+  gg::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(12345));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_PoissonTick(benchmark::State& state) {
+  gg::Rng rng(3);
+  gg::sim::AsyncClock clock(4096, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.next());
+  }
+}
+BENCHMARK(BM_PoissonTick);
+
+void BM_BucketGridNearest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gg::Rng rng(4);
+  const auto points = gg::geometry::sample_unit_square(n, rng);
+  const gg::geometry::BucketGrid index(
+      points, gg::geometry::Rect::unit_square(), 0.03);
+  for (auto _ : state) {
+    const gg::geometry::Vec2 q{rng.next_double(), rng.next_double()};
+    benchmark::DoNotOptimize(index.nearest(q));
+  }
+}
+BENCHMARK(BM_BucketGridNearest)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_GrgConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gg::Rng rng(5);
+  for (auto _ : state) {
+    auto graph = gg::graph::GeometricGraph::sample(n, 1.2, rng);
+    benchmark::DoNotOptimize(graph.adjacency().edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GrgConstruction)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyRoute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gg::Rng rng(6);
+  const auto graph = gg::graph::GeometricGraph::sample(n, 1.2, rng);
+  for (auto _ : state) {
+    const auto src = static_cast<gg::graph::NodeId>(rng.below(n));
+    const auto dst = static_cast<gg::graph::NodeId>(
+        rng.below_excluding(n, src));
+    benchmark::DoNotOptimize(gg::routing::route_to_node(graph, src, dst));
+  }
+}
+BENCHMARK(BM_GreedyRoute)->Arg(4096)->Arg(65536);
+
+void BM_PairwiseGossipTick(benchmark::State& state) {
+  const std::size_t n = 16384;
+  gg::Rng rng(7);
+  const auto graph = gg::graph::GeometricGraph::sample(n, 1.2, rng);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  for (auto _ : state) {
+    const auto node = static_cast<gg::graph::NodeId>(rng.below(n));
+    const auto neighbors = graph.neighbors(node);
+    if (neighbors.empty()) continue;
+    const auto peer = neighbors[rng.below(neighbors.size())];
+    const double avg = 0.5 * (x[node] + x[peer]);
+    x[node] = avg;
+    x[peer] = avg;
+    benchmark::DoNotOptimize(x[node]);
+  }
+}
+BENCHMARK(BM_PairwiseGossipTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// E10: ablations over the design choices DESIGN.md calls out.
+//
+//   (a) Affine gain: paper-literal beta = (2/5)E# vs harmonic-of-actual vs
+//       convex representative averaging (beta = 1/2).  Isolates the paper's
+//       core claim — non-convex affine combinations accelerate averaging by
+//       Theta(occupancy) — and shows the literal gain's fragility to
+//       occupancy fluctuations at simulable scale.
+//   (b) Hierarchy depth: one-level (§3) vs full recursion, under both leaf
+//       cost models (grg-mixing and the paper's conservative quadratic).
+//   (c) Control overhead: share of Activate/Deactivate traffic, on/off.
+//   (d) The literal paper schedule vs the practical schedule (reported).
+#include <iostream>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "core/schedule.hpp"
+#include "sim/field.hpp"
+#include "stats/summary.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace gg = geogossip;
+using gg::core::BetaMode;
+using gg::core::LeafCostModel;
+using gg::core::MultilevelConfig;
+
+namespace {
+
+struct AblationRow {
+  std::string name;
+  MultilevelConfig config;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t n = 16384;
+  std::int64_t seeds = 3;
+  std::int64_t master_seed = 5;
+  double eps = 1e-3;
+  double radius_multiplier = 1.2;
+
+  gg::ArgParser parser("tab_e10_ablation", "E10: design-choice ablations");
+  parser.add_flag("n", &n, "deployment size");
+  parser.add_flag("seeds", &seeds, "trials per row");
+  parser.add_flag("seed", &master_seed, "master seed");
+  parser.add_flag("eps", &eps, "accuracy target");
+  parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto nn = static_cast<std::size_t>(n);
+  std::cout << "=== E10: ablations at n=" << gg::format_count(nn)
+            << ", eps=" << eps << " ===\n\n";
+
+  std::vector<AblationRow> rows;
+  {
+    MultilevelConfig base;
+    base.eps = eps;
+
+    AblationRow harmonic{"multi | harmonic beta (default)", base};
+    rows.push_back(harmonic);
+
+    AblationRow expected = harmonic;
+    expected.name = "multi | paper-literal beta=(2/5)E#";
+    expected.config.beta_mode = BetaMode::kExpected;
+    expected.config.max_top_rounds = 60000;  // divergence is a valid outcome
+    rows.push_back(expected);
+
+    AblationRow convex = harmonic;
+    convex.name = "multi | convex rep averaging (1/2)";
+    convex.config.beta_mode = BetaMode::kConvexRep;
+    convex.config.max_top_rounds = 60000;
+    rows.push_back(convex);
+
+    AblationRow one_level = harmonic;
+    one_level.name = "one-level (§3) | grg-mixing leaves";
+    one_level.config.max_depth = 1;
+    rows.push_back(one_level);
+
+    // At one level the squares hold ~sqrt(n) sensors, so occupancies DO
+    // concentrate (relative fluctuation n^-1/4) and the paper-literal gain
+    // is stable — the concentration premise in action.
+    AblationRow one_level_expected = one_level;
+    one_level_expected.name = "one-level (§3) | paper-literal beta";
+    one_level_expected.config.beta_mode = BetaMode::kExpected;
+    rows.push_back(one_level_expected);
+
+    AblationRow one_level_quad = one_level;
+    one_level_quad.name = "one-level (§3) | quadratic leaves";
+    one_level_quad.config.leaf_cost = LeafCostModel::kQuadratic;
+    rows.push_back(one_level_quad);
+
+    AblationRow multi_quad = harmonic;
+    multi_quad.name = "multi | quadratic leaves";
+    multi_quad.config.leaf_cost = LeafCostModel::kQuadratic;
+    rows.push_back(multi_quad);
+
+    AblationRow no_control = harmonic;
+    no_control.name = "multi | control traffic uncharged";
+    no_control.config.charge_control = false;
+    rows.push_back(no_control);
+
+    AblationRow noisy = harmonic;
+    noisy.name = "multi | leaf noise 1e-7 (Lemma 2 in vivo)";
+    noisy.config.leaf_noise = 1e-7;
+    rows.push_back(noisy);
+  }
+
+  gg::ConsoleTable table({"configuration", "median tx", "local%", "lr%",
+                          "ctrl%", "conv"});
+  table.set_alignment(0, gg::Align::kLeft);
+
+  for (const auto& row : rows) {
+    gg::stats::Quantiles tx;
+    double local_share = 0.0;
+    double lr_share = 0.0;
+    double control_share = 0.0;
+    std::uint32_t converged = 0;
+    for (std::int64_t trial = 0; trial < seeds; ++trial) {
+      gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(master_seed),
+                                  static_cast<std::uint64_t>(trial)));
+      const auto graph = gg::graph::GeometricGraph::sample(
+          nn, radius_multiplier, rng);
+      auto x0 = gg::sim::gaussian_field(nn, rng);
+      gg::sim::center_and_normalize(x0);
+      gg::core::MultilevelAffineGossip protocol(graph, x0, rng, row.config);
+      const auto result = protocol.run();
+      if (!result.converged) continue;
+      ++converged;
+      const auto total = result.transmissions.total();
+      tx.push(static_cast<double>(total));
+      if (total > 0) {
+        const double inv = 1.0 / static_cast<double>(total);
+        local_share += inv * static_cast<double>(
+            result.transmissions[gg::sim::TxCategory::kLocal]);
+        lr_share += inv * static_cast<double>(
+            result.transmissions[gg::sim::TxCategory::kLongRange]);
+        control_share += inv * static_cast<double>(
+            result.transmissions[gg::sim::TxCategory::kControl]);
+      }
+    }
+    const double conv_frac =
+        static_cast<double>(converged) / static_cast<double>(seeds);
+    table.cell(row.name)
+        .cell(converged > 0 ? gg::format_si(tx.median()) : "-")
+        .cell(converged > 0
+                  ? gg::format_fixed(100.0 * local_share / converged, 1)
+                  : "-")
+        .cell(converged > 0
+                  ? gg::format_fixed(100.0 * lr_share / converged, 1)
+                  : "-")
+        .cell(converged > 0
+                  ? gg::format_fixed(100.0 * control_share / converged, 1)
+                  : "-")
+        .cell(gg::format_fixed(conv_frac, 2));
+    table.end_row();
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- literal §4.1 schedule at this n (reported, never "
+               "simulated) ---\n";
+  const auto profile = gg::core::compute_level_profile(nn, 48.0);
+  const auto paper =
+      gg::core::make_paper_schedule(nn, eps, 1e-2, 1.0, profile);
+  std::cout << paper.to_string() << '\n';
+  const auto practical =
+      gg::core::make_practical_schedule(eps, 1.0, 10.0, profile);
+  std::cout << "\n--- practical schedule actually simulated ---\n"
+            << practical.to_string() << '\n';
+
+  std::cout << "\nReading guide: convex rep averaging (the pre-paper\n"
+               "baseline update at representative level) either fails to\n"
+               "converge in the round budget or needs orders of magnitude\n"
+               "more rounds — the affine jump is what moves Theta(1) of a\n"
+               "square's mass per exchange.  The paper-literal gain works\n"
+               "when occupancies concentrate; at simulable occupancies it\n"
+               "can leave the (1/3,1/2) window (see also E8).\n";
+  return 0;
+}

@@ -1,0 +1,203 @@
+// E5 (headline): transmissions-to-epsilon scaling of all protocols.
+//
+// Reproduces the paper's central comparison: Boyd nearest-neighbour gossip
+// (O~(n^2)) vs Dimakis geographic gossip (O~(n^1.5)) vs this paper's affine
+// protocols (n^(1+o(1))).  Each protocol is swept over its own feasible n
+// range (DESIGN.md §2 honesty note), the median transmissions-to-eps are
+// fitted to c * n^p, and the measured exponents + extrapolated crossovers
+// are printed alongside the theoretical predictions.
+#include <iostream>
+#include <vector>
+
+#include "analysis/exponent_fit.hpp"
+#include "core/convergence.hpp"
+#include "core/schedule.hpp"
+#include "gossip/spanning_tree.hpp"
+#include "stats/regression.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace gg = geogossip;
+using gg::core::ProtocolKind;
+
+namespace {
+
+struct ProtocolPlan {
+  ProtocolKind kind;
+  std::vector<std::size_t> ns;
+};
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> out;
+  for (const auto& part : gg::split(csv, ',')) {
+    if (!gg::trim(part).empty()) {
+      out.push_back(static_cast<std::size_t>(gg::parse_int(part)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t seeds = 4;
+  std::int64_t master_seed = 1;
+  double eps = 1e-3;
+  double radius_multiplier = 1.2;
+  std::string boyd_ns = "512,1024,2048,4096,8192";
+  std::string dimakis_ns = "512,1024,2048,4096,8192,16384";
+  std::string pathavg_ns = "512,1024,2048,4096,8192,16384";
+  std::string one_level_ns = "512,2048,8192,32768,131072";
+  std::string multi_ns = "2048,8192,32768,131072";
+  std::string decentral_ns = "1024,4096,16384";
+  std::string csv_path;
+  bool quick = false;
+
+  gg::ArgParser parser("tab_e5_scaling",
+                       "E5: transmissions-to-eps scaling (headline table)");
+  parser.add_flag("seeds", &seeds, "trials per (protocol, n)");
+  parser.add_flag("seed", &master_seed, "master seed");
+  parser.add_flag("eps", &eps, "accuracy target");
+  parser.add_flag("radius-mult", &radius_multiplier,
+                  "radius multiplier c in r = c sqrt(log n / n)");
+  parser.add_flag("boyd-ns", &boyd_ns, "comma-separated n sweep for Boyd");
+  parser.add_flag("dimakis-ns", &dimakis_ns, "n sweep for Dimakis");
+  parser.add_flag("pathavg-ns", &pathavg_ns, "n sweep for path averaging");
+  parser.add_flag("onelevel-ns", &one_level_ns, "n sweep for affine-1level");
+  parser.add_flag("multi-ns", &multi_ns, "n sweep for affine-multi");
+  parser.add_flag("decentral-ns", &decentral_ns,
+                  "n sweep for the decentralized extension");
+  parser.add_flag("csv", &csv_path, "also write results to this CSV file");
+  parser.add_flag("quick", &quick, "shrink sweeps for a fast smoke run");
+  if (!parser.parse(argc, argv)) return 0;
+
+  if (quick) {
+    boyd_ns = "256,512,1024";
+    dimakis_ns = "512,1024,2048";
+    pathavg_ns = "512,1024,2048";
+    one_level_ns = "512,2048,8192";
+    multi_ns = "512,2048,8192";
+    decentral_ns = "512,2048";
+    seeds = std::min<std::int64_t>(seeds, 3);
+  }
+
+  const std::vector<ProtocolPlan> plans{
+      {ProtocolKind::kBoydPairwise, parse_sizes(boyd_ns)},
+      {ProtocolKind::kDimakisGeographic, parse_sizes(dimakis_ns)},
+      {ProtocolKind::kPathAveraging, parse_sizes(pathavg_ns)},
+      {ProtocolKind::kAffineOneLevel, parse_sizes(one_level_ns)},
+      {ProtocolKind::kAffineMultilevel, parse_sizes(multi_ns)},
+      {ProtocolKind::kAffineDecentralized, parse_sizes(decentral_ns)},
+  };
+
+  gg::core::TrialOptions options;
+  options.eps = eps;
+
+  std::cout << "=== E5: transmissions to eps=" << eps
+            << " (r = " << radius_multiplier
+            << " sqrt(log n / n), seeds=" << seeds << ") ===\n\n";
+
+  gg::ConsoleTable table(
+      {"protocol", "n", "median tx", "q25", "q75", "ctrl%", "conv"});
+  table.set_alignment(0, gg::Align::kLeft);
+
+  std::unique_ptr<gg::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gg::CsvWriter>(csv_path);
+    csv->header({"protocol", "n", "median_tx", "q25_tx", "q75_tx",
+                 "control_share", "converged_fraction"});
+  }
+
+  std::vector<gg::analysis::ScalingReport> reports;
+  for (const auto& plan : plans) {
+    std::vector<double> ns;
+    std::vector<double> medians;
+    for (const std::size_t n : plan.ns) {
+      const auto point = gg::core::sweep_point(
+          plan.kind, n, radius_multiplier,
+          static_cast<std::uint32_t>(seeds),
+          static_cast<std::uint64_t>(master_seed), options);
+      table.cell(std::string(gg::core::protocol_kind_name(plan.kind)))
+          .cell(gg::format_count(n))
+          .cell(gg::format_si(point.median_tx))
+          .cell(gg::format_si(point.q25_tx))
+          .cell(gg::format_si(point.q75_tx))
+          .cell(gg::format_fixed(100.0 * point.mean_control_share, 1))
+          .cell(gg::format_fixed(point.converged_fraction, 2));
+      table.end_row();
+      if (csv) {
+        csv->field(std::string(gg::core::protocol_kind_name(plan.kind)))
+            .field(static_cast<std::uint64_t>(n))
+            .field(point.median_tx)
+            .field(point.q25_tx)
+            .field(point.q75_tx)
+            .field(point.mean_control_share)
+            .field(point.converged_fraction);
+        csv->end_row();
+      }
+      if (point.converged_fraction > 0.5) {
+        ns.push_back(static_cast<double>(n));
+        medians.push_back(point.median_tx);
+      }
+    }
+    if (ns.size() >= 3) {
+      reports.push_back(gg::analysis::fit_scaling(
+          std::string(gg::core::protocol_kind_name(plan.kind)), ns,
+          medians));
+    }
+  }
+
+  table.print(std::cout);
+
+  std::cout << "\n--- fitted scaling exponents (tx ~ c n^p) ---\n";
+  for (const auto& report : reports) {
+    std::cout << "  " << report.to_string() << '\n';
+  }
+
+  // Extrapolated crossovers between consecutive complexity classes.
+  const auto find = [&](const std::string& name)
+      -> const gg::analysis::ScalingReport* {
+    for (const auto& r : reports) {
+      if (r.protocol == name) return &r;
+    }
+    return nullptr;
+  };
+  const auto* boyd = find("boyd");
+  const auto* dimakis = find("dimakis");
+  const auto* multi = find("affine-multi");
+  std::cout << "\n--- extrapolated crossovers ---\n";
+  if (boyd && dimakis) {
+    std::cout << "  dimakis beats boyd past n ~ "
+              << gg::format_si(
+                     gg::analysis::crossover_n(boyd->fit, dimakis->fit))
+              << '\n';
+  }
+  if (dimakis && multi) {
+    std::cout << "  affine-multi beats dimakis past n ~ "
+              << gg::format_si(
+                     gg::analysis::crossover_n(dimakis->fit, multi->fit))
+              << '\n';
+  }
+
+  std::cout << "\n--- centralized reference ---\n"
+               "  spanning-tree floor 2(n-1): n=16,384 -> "
+            << gg::format_count(gg::gossip::spanning_tree_floor(16384))
+            << " transmissions (no robustness, single point of failure)\n";
+
+  std::cout << "\n--- paper predictions (shape overlays, c=1) ---\n";
+  for (const std::size_t n : {std::size_t{1} << 14, std::size_t{1} << 20}) {
+    std::cout << "  n=" << gg::format_count(n) << ": boyd~"
+              << gg::format_si(
+                     gg::core::boyd_predicted_transmissions(n, eps, 1.0))
+              << "  dimakis~"
+              << gg::format_si(
+                     gg::core::dimakis_predicted_transmissions(n, eps, 1.0))
+              << "  narayanan~"
+              << gg::format_si(gg::core::narayanan_predicted_transmissions(
+                     n, eps, 1.0))
+              << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Sensor-network scenario from the paper's motivation (§1): distributed
+// estimation on an ad-hoc deployment.
+//
+// A field of temperature sensors measures a smooth spatial field (two
+// Gaussian warm spots) corrupted by per-sensor noise.  The fleet's goal is
+// the global mean temperature; every sensor should end up holding it.  We
+// run the affine gossip protocol, track accuracy-vs-energy (transmissions
+// are the energy proxy in the whole literature), and compare against the
+// location-oblivious baseline.
+#include <cmath>
+#include <iostream>
+
+#include "core/multilevel.hpp"
+#include "gossip/pairwise.hpp"
+#include "graph/geometric_graph.hpp"
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace gg = geogossip;
+
+namespace {
+
+/// Ground-truth temperature field: 15 C background plus two warm spots.
+double temperature_at(gg::geometry::Vec2 p) {
+  const auto bump = [&](gg::geometry::Vec2 center, double amplitude,
+                        double width) {
+    const double d_sq = gg::geometry::distance_sq(p, center);
+    return amplitude * std::exp(-d_sq / (2.0 * width * width));
+  };
+  return 15.0 + bump({0.25, 0.7}, 8.0, 0.15) + bump({0.8, 0.2}, 5.0, 0.1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t n = 8192;
+  double eps = 1e-3;
+  double sensor_noise = 0.5;
+  std::int64_t seed = 17;
+
+  gg::ArgParser parser("sensor_field_estimation",
+                       "distributed mean-temperature estimation");
+  parser.add_flag("n", &n, "number of sensors");
+  parser.add_flag("eps", &eps, "relative accuracy target");
+  parser.add_flag("noise", &sensor_noise, "per-sensor measurement noise sd");
+  parser.add_flag("seed", &seed, "random seed");
+  if (!parser.parse(argc, argv)) return 0;
+
+  gg::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto graph = gg::graph::GeometricGraph::sample(
+      static_cast<std::size_t>(n), 1.2, rng);
+
+  // Measurements: field value + sensor noise.
+  std::vector<double> readings(graph.node_count());
+  gg::stats::RunningStat truth;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const double field = temperature_at(graph.position(i));
+    truth.push(field);
+    readings[i] = field + rng.normal(0.0, sensor_noise);
+  }
+  const double measured_mean = gg::stats::mean_of(readings);
+  std::cout << "deployment: " << graph.summary() << '\n'
+            << "true field mean:      "
+            << gg::format_fixed(truth.mean(), 4) << " C\n"
+            << "mean of measurements: "
+            << gg::format_fixed(measured_mean, 4)
+            << " C  (the value gossip must agree on)\n\n";
+
+  // Affine gossip (this paper).  At deployment sizes below ~10^6 the
+  // paper's own threshold rule keeps the hierarchy at one level (§3's
+  // protocol); forcing that here matches what the protocol would deploy.
+  gg::core::MultilevelConfig config;
+  config.eps = eps;
+  config.max_depth = 1;
+  gg::Rng affine_rng(gg::derive_seed(static_cast<std::uint64_t>(seed), 1));
+  gg::core::MultilevelAffineGossip affine(graph, readings, affine_rng,
+                                          config);
+  const auto affine_result = affine.run();
+
+  // Boyd baseline on identical inputs.
+  gg::Rng boyd_rng(gg::derive_seed(static_cast<std::uint64_t>(seed), 2));
+  gg::gossip::PairwiseGossip boyd(graph, readings, boyd_rng);
+  gg::sim::RunConfig run;
+  run.epsilon = eps;
+  run.max_ticks = 4'000'000'000ull;
+  const auto boyd_result = gg::sim::run_to_epsilon(boyd, boyd_rng, run);
+
+  gg::ConsoleTable table({"protocol", "converged", "transmissions",
+                          "tx/sensor", "max |estimate - mean|"});
+  table.set_alignment(0, gg::Align::kLeft);
+
+  const auto report = [&](const std::string& name, bool converged,
+                          std::uint64_t tx, std::span<const double> values) {
+    double worst = 0.0;
+    for (const double v : values) {
+      worst = std::max(worst, std::abs(v - measured_mean));
+    }
+    table.cell(name)
+        .cell(converged ? "yes" : "no")
+        .cell(gg::format_count(tx))
+        .cell(gg::format_fixed(static_cast<double>(tx) /
+                                   static_cast<double>(graph.node_count()),
+                               1))
+        .cell(gg::format_sci(worst, 2));
+    table.end_row();
+  };
+  report("affine gossip (this paper)", affine_result.converged,
+         affine_result.transmissions.total(), affine.values());
+  report("nearest-neighbour (Boyd et al.)", boyd_result.converged,
+         boyd_result.transmissions.total(), boyd.values());
+  table.print(std::cout);
+
+  std::cout << "\nEvery sensor now holds the fleet-wide mean temperature to\n"
+               "within the target accuracy; transmissions are the battery\n"
+               "cost of getting there.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+
+#include "core/complete_graph_model.hpp"
+#include "core/schedule.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::analysis {
+
+BoundSeries lemma1_series(std::size_t n, const std::vector<double>& ts) {
+  BoundSeries series;
+  series.name = "lemma1 (1-1/2n)^t";
+  series.xs = ts;
+  series.ys.reserve(ts.size());
+  for (const double t : ts) {
+    series.ys.push_back(
+        core::lemma1_bound(n, static_cast<std::uint64_t>(t)));
+  }
+  return series;
+}
+
+BoundSeries corollary_tail_series(std::size_t n, const std::vector<double>& ts,
+                                  double epsilon) {
+  BoundSeries series;
+  series.name = "corollary1 tail";
+  series.xs = ts;
+  series.ys.reserve(ts.size());
+  for (const double t : ts) {
+    series.ys.push_back(core::corollary_tail_bound(
+        n, static_cast<std::uint64_t>(t), epsilon));
+  }
+  return series;
+}
+
+BoundSeries lemma2_series(std::size_t n, const std::vector<double>& ts,
+                          double a, double noise_bound) {
+  BoundSeries series;
+  series.name = "lemma2 envelope";
+  series.xs = ts;
+  series.ys.reserve(ts.size());
+  for (const double t : ts) {
+    series.ys.push_back(core::lemma2_envelope(
+        n, static_cast<std::uint64_t>(t), a, 1.0, noise_bound));
+  }
+  return series;
+}
+
+double lemma1_steps_to_epsilon(std::size_t n, double eps, double delta) {
+  GG_CHECK_ARG(eps > 0.0 && eps < 1.0, "eps in (0,1)");
+  GG_CHECK_ARG(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+  // eps^-2 rho^t <= delta  =>  t >= (2 ln(1/eps) + ln(1/delta)) / ln(1/rho).
+  const double rho = 1.0 - 1.0 / (2.0 * static_cast<double>(n));
+  return (2.0 * std::log(1.0 / eps) + std::log(1.0 / delta)) /
+         (-std::log(rho));
+}
+
+BoundSeries boyd_series(const std::vector<double>& ns, double eps, double c) {
+  BoundSeries series;
+  series.name = "Boyd ~ n^2";
+  series.xs = ns;
+  for (const double n : ns) {
+    series.ys.push_back(core::boyd_predicted_transmissions(
+        static_cast<std::size_t>(n), eps, c));
+  }
+  return series;
+}
+
+BoundSeries dimakis_series(const std::vector<double>& ns, double eps,
+                           double c) {
+  BoundSeries series;
+  series.name = "Dimakis ~ n^1.5";
+  series.xs = ns;
+  for (const double n : ns) {
+    series.ys.push_back(core::dimakis_predicted_transmissions(
+        static_cast<std::size_t>(n), eps, c));
+  }
+  return series;
+}
+
+BoundSeries narayanan_series(const std::vector<double>& ns, double eps,
+                             double c) {
+  BoundSeries series;
+  series.name = "Narayanan ~ n^(1+o(1))";
+  series.xs = ns;
+  for (const double n : ns) {
+    series.ys.push_back(core::narayanan_predicted_transmissions(
+        static_cast<std::size_t>(n), eps, c));
+  }
+  return series;
+}
+
+}  // namespace geogossip::analysis

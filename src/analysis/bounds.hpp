@@ -1,0 +1,45 @@
+// Closed-form theoretical curves collected in one place, so benches overlay
+// "paper prediction" series against measured data from a single source.
+#ifndef GEOGOSSIP_ANALYSIS_BOUNDS_HPP
+#define GEOGOSSIP_ANALYSIS_BOUNDS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geogossip::analysis {
+
+/// A named theoretical curve sampled at the given xs.
+struct BoundSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Lemma 1's E||x(t)||^2 bound sampled at each t: (1 - 1/(2n))^t.
+BoundSeries lemma1_series(std::size_t n, const std::vector<double>& ts);
+
+/// Corollary 1 tail bound at each t for fixed epsilon.
+BoundSeries corollary_tail_series(std::size_t n, const std::vector<double>& ts,
+                                  double epsilon);
+
+/// Lemma 2 envelope at each t (unit ||y0||).
+BoundSeries lemma2_series(std::size_t n, const std::vector<double>& ts,
+                          double a, double noise_bound);
+
+/// Steps needed on K_n for the Lemma 1 bound to reach eps^2 (with the
+/// Markov slack eps^-2 folded in, i.e. Corollary 1 <= delta):
+/// smallest t with eps^-2 (1-1/(2n))^t <= delta.
+double lemma1_steps_to_epsilon(std::size_t n, double eps, double delta);
+
+/// Prior-art + paper transmission predictions over an n sweep (constants
+/// from core/schedule.hpp helpers).
+BoundSeries boyd_series(const std::vector<double>& ns, double eps, double c);
+BoundSeries dimakis_series(const std::vector<double>& ns, double eps,
+                           double c);
+BoundSeries narayanan_series(const std::vector<double>& ns, double eps,
+                             double c);
+
+}  // namespace geogossip::analysis
+
+#endif  // GEOGOSSIP_ANALYSIS_BOUNDS_HPP

@@ -1,0 +1,38 @@
+#include "analysis/exponent_fit.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace geogossip::analysis {
+
+std::string ScalingReport::to_string() const {
+  std::ostringstream os;
+  os << protocol << ": " << fit.to_string();
+  return os.str();
+}
+
+ScalingReport fit_scaling(const std::string& protocol,
+                          const std::vector<double>& ns,
+                          const std::vector<double>& medians) {
+  GG_CHECK_ARG(ns.size() >= 3, "fit_scaling: need >= 3 points");
+  ScalingReport report;
+  report.protocol = protocol;
+  report.ns = ns;
+  report.medians = medians;
+  report.fit = stats::fit_power_law(ns, medians);
+  return report;
+}
+
+double crossover_n(const stats::PowerLawFit& a, const stats::PowerLawFit& b) {
+  // c_a n^p_a = c_b n^p_b  =>  n = (c_b / c_a)^(1 / (p_a - p_b)).
+  const double dp = a.exponent - b.exponent;
+  if (dp == 0.0) return -1.0;
+  GG_CHECK_ARG(a.coefficient > 0.0 && b.coefficient > 0.0,
+               "crossover_n: coefficients must be positive");
+  const double n = std::pow(b.coefficient / a.coefficient, 1.0 / dp);
+  return n > 1.0 ? n : -1.0;
+}
+
+}  // namespace geogossip::analysis

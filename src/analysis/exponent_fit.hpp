@@ -1,0 +1,32 @@
+// Scaling-exponent reports for transmissions-to-epsilon sweeps (E5).
+#ifndef GEOGOSSIP_ANALYSIS_EXPONENT_FIT_HPP
+#define GEOGOSSIP_ANALYSIS_EXPONENT_FIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "stats/regression.hpp"
+
+namespace geogossip::analysis {
+
+struct ScalingReport {
+  std::string protocol;
+  stats::PowerLawFit fit;
+  std::vector<double> ns;
+  std::vector<double> medians;
+
+  std::string to_string() const;
+};
+
+/// Fits median transmissions ~ c * n^p.  Requires >= 3 sweep points.
+ScalingReport fit_scaling(const std::string& protocol,
+                          const std::vector<double>& ns,
+                          const std::vector<double>& medians);
+
+/// The n at which two fitted power laws cross (extrapolated); returns a
+/// negative value when they never cross for n > 1.
+double crossover_n(const stats::PowerLawFit& a, const stats::PowerLawFit& b);
+
+}  // namespace geogossip::analysis
+
+#endif  // GEOGOSSIP_ANALYSIS_EXPONENT_FIT_HPP

@@ -1,0 +1,82 @@
+#include "analysis/mixing.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace geogossip::analysis {
+
+SpectralGapResult estimate_spectral_gap(const graph::CsrGraph& g,
+                                        std::uint32_t iterations, Rng& rng) {
+  const std::size_t n = g.node_count();
+  GG_CHECK_ARG(n >= 2, "estimate_spectral_gap: n >= 2");
+  GG_CHECK_ARG(iterations >= 1, "estimate_spectral_gap: iterations >= 1");
+
+  // The natural walk P = D^-1 A is self-adjoint under the degree inner
+  // product <u, v>_pi = sum_i d_i u_i v_i; its stationary left eigenvector
+  // corresponds to the constant function.  Power-iterate the lazy walk on
+  // the complement of the constant direction w.r.t. <,>_pi.
+  std::vector<double> degree(n);
+  double degree_total = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<double>(g.degree(v));
+    GG_CHECK_ARG(degree[v] > 0.0,
+                 "estimate_spectral_gap: graph has an isolated node");
+    degree_total += degree[v];
+  }
+
+  const auto deflate = [&](std::vector<double>& v) {
+    double projection = 0.0;
+    for (std::size_t i = 0; i < n; ++i) projection += degree[i] * v[i];
+    projection /= degree_total;
+    for (double& x : v) x -= projection;
+  };
+  const auto pi_norm = [&](const std::vector<double>& v) {
+    double accum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) accum += degree[i] * v[i] * v[i];
+    return std::sqrt(accum);
+  };
+
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal();
+  deflate(v);
+  double norm = pi_norm(v);
+  GG_CHECK(norm > 0.0, "degenerate start vector");
+  for (double& x : v) x /= norm;
+
+  std::vector<double> w(n);
+  double lambda = 0.0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // w = lazy-walk applied to v: w_i = (v_i + mean of neighbours) / 2.
+    for (graph::NodeId i = 0; i < n; ++i) {
+      double accum = 0.0;
+      for (const graph::NodeId u : g.neighbors(i)) accum += v[u];
+      w[i] = 0.5 * (v[i] + accum / degree[i]);
+    }
+    deflate(w);
+    const double w_norm = pi_norm(w);
+    GG_CHECK(w_norm > 0.0, "power iteration collapsed");
+    // Rayleigh quotient in the pi inner product.
+    lambda = 0.0;
+    for (std::size_t i = 0; i < n; ++i) lambda += degree[i] * v[i] * w[i];
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / w_norm;
+  }
+
+  SpectralGapResult result;
+  // Lazy eigenvalue lambda' = (1 + lambda2)/2 -> lambda2 = 2 lambda' - 1.
+  result.lambda2 = 2.0 * lambda - 1.0;
+  result.spectral_gap = 1.0 - result.lambda2;
+  result.relaxation_time =
+      result.spectral_gap > 0.0 ? 1.0 / result.spectral_gap : 0.0;
+  result.iterations = iterations;
+  return result;
+}
+
+double mixing_time_estimate(const SpectralGapResult& gap, std::size_t n,
+                            double eps) {
+  GG_CHECK_ARG(eps > 0.0 && eps < 1.0, "eps in (0,1)");
+  return gap.relaxation_time * std::log(static_cast<double>(n) / eps);
+}
+
+}  // namespace geogossip::analysis

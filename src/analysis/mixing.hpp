@@ -1,0 +1,37 @@
+// Spectral gap of the natural random walk on a graph.
+//
+// Boyd et al. tie nearest-neighbour gossip cost to Theta(n * T_mix); the
+// second-largest eigenvalue modulus of the lazy walk gives
+// T_mix ~ 1 / (1 - lambda_2) * log(n).  Experiment E5's Boyd row is
+// sanity-checked against this estimate, and tests verify the known
+// Theta(n / log n) scaling of T_mix on G(n, r).
+#ifndef GEOGOSSIP_ANALYSIS_MIXING_HPP
+#define GEOGOSSIP_ANALYSIS_MIXING_HPP
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip::analysis {
+
+struct SpectralGapResult {
+  /// Second-largest eigenvalue of the lazy walk P' = (I + P)/2.
+  double lambda2 = 0.0;
+  double spectral_gap = 0.0;       ///< 1 - lambda2
+  double relaxation_time = 0.0;    ///< 1 / gap
+  std::uint32_t iterations = 0;
+};
+
+/// Power iteration on the lazy natural random walk, deflating the
+/// stationary direction (degree vector).  The graph must be connected.
+SpectralGapResult estimate_spectral_gap(const graph::CsrGraph& g,
+                                        std::uint32_t iterations, Rng& rng);
+
+/// T_mix(eps) estimate: relaxation_time * log(n / eps).
+double mixing_time_estimate(const SpectralGapResult& gap, std::size_t n,
+                            double eps);
+
+}  // namespace geogossip::analysis
+
+#endif  // GEOGOSSIP_ANALYSIS_MIXING_HPP

@@ -1,0 +1,19 @@
+#include "core/affine.hpp"
+
+#include "support/check.hpp"
+
+namespace geogossip::core {
+
+double draw_alpha(Rng& rng) { return rng.uniform(kAlphaLow, kAlphaHigh); }
+
+double far_beta(double expected_occupancy) {
+  GG_CHECK_ARG(expected_occupancy > 0.0,
+               "far_beta: expected occupancy must be positive");
+  return kBetaFraction * expected_occupancy;
+}
+
+bool alpha_in_paper_range(double alpha) noexcept {
+  return alpha > kAlphaLow && alpha < kAlphaHigh;
+}
+
+}  // namespace geogossip::core

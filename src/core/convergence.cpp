@@ -1,0 +1,204 @@
+#include "core/convergence.hpp"
+
+#include <cmath>
+
+#include "gossip/pairwise.hpp"
+#include "gossip/path_averaging.hpp"
+#include "sim/engine.hpp"
+#include "sim/field.hpp"
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace geogossip::core {
+
+std::string_view protocol_kind_name(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kBoydPairwise:
+      return "boyd";
+    case ProtocolKind::kDimakisGeographic:
+      return "dimakis";
+    case ProtocolKind::kPathAveraging:
+      return "path-avg";
+    case ProtocolKind::kAffineOneLevel:
+      return "affine-1level";
+    case ProtocolKind::kAffineMultilevel:
+      return "affine-multi";
+    case ProtocolKind::kAffineAsync:
+      return "affine-async";
+    case ProtocolKind::kAffineDecentralized:
+      return "affine-decentral";
+  }
+  return "?";
+}
+
+ProtocolKind parse_protocol_kind(const std::string& name) {
+  const std::string lowered = to_lower(name);
+  if (lowered == "boyd") return ProtocolKind::kBoydPairwise;
+  if (lowered == "dimakis") return ProtocolKind::kDimakisGeographic;
+  if (lowered == "path-avg") return ProtocolKind::kPathAveraging;
+  if (lowered == "affine-1level") return ProtocolKind::kAffineOneLevel;
+  if (lowered == "affine-multi") return ProtocolKind::kAffineMultilevel;
+  if (lowered == "affine-async") return ProtocolKind::kAffineAsync;
+  if (lowered == "affine-decentral") {
+    return ProtocolKind::kAffineDecentralized;
+  }
+  throw ArgumentError("unknown protocol '" + name + "'");
+}
+
+namespace {
+
+std::uint64_t default_tick_cap(ProtocolKind kind, std::size_t n, double eps) {
+  const double nn = static_cast<double>(n);
+  const double log_eps = std::log(1.0 / eps);
+  switch (kind) {
+    case ProtocolKind::kBoydPairwise:
+      // Theta(n^2 / log n) mixing-limited ticks, generous constant.
+      return static_cast<std::uint64_t>(
+          64.0 * nn * nn * log_eps / std::log(nn));
+    case ProtocolKind::kDimakisGeographic:
+    case ProtocolKind::kPathAveraging:
+      // Near-complete-graph mixing: Theta(n log(1/eps)) ticks.
+      return static_cast<std::uint64_t>(256.0 * nn * log_eps);
+    case ProtocolKind::kAffineAsync:
+    case ProtocolKind::kAffineDecentralized:
+      // Activity is dominated by Near inside (active) squares; the
+      // protocols need polylog "global time" units = polylog * n ticks.
+      return static_cast<std::uint64_t>(
+          4096.0 * nn * log_eps * std::log(nn));
+    case ProtocolKind::kAffineOneLevel:
+    case ProtocolKind::kAffineMultilevel:
+      return 0;  // round-based protocols do not use the tick engine
+  }
+  return 0;
+}
+
+TrialOutcome from_run(const sim::RunResult& run, double sum_before,
+                      double sum_after) {
+  TrialOutcome outcome;
+  outcome.converged = run.converged;
+  outcome.final_error = run.final_error;
+  outcome.transmissions = run.transmissions;
+  outcome.sum_drift = std::abs(sum_after - sum_before);
+  return outcome;
+}
+
+double sum_of(std::span<const double> values) {
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total;
+}
+
+}  // namespace
+
+TrialOutcome run_protocol_trial(ProtocolKind kind,
+                                const graph::GeometricGraph& graph,
+                                const std::vector<double>& x0, Rng& rng,
+                                const TrialOptions& options) {
+  GG_CHECK_ARG(x0.size() == graph.node_count(),
+               "x0 size must match the graph");
+  const double sum_before = sum_of(x0);
+
+  sim::RunConfig run_config;
+  run_config.epsilon = options.eps;
+  run_config.max_ticks = options.max_ticks != 0
+                             ? options.max_ticks
+                             : default_tick_cap(kind, graph.node_count(),
+                                                options.eps);
+
+  switch (kind) {
+    case ProtocolKind::kBoydPairwise: {
+      gossip::PairwiseGossip protocol(graph, x0, rng);
+      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      return from_run(run, sum_before, sum_of(protocol.values()));
+    }
+    case ProtocolKind::kDimakisGeographic: {
+      gossip::GeographicGossip protocol(graph, x0, rng, options.geographic);
+      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      return from_run(run, sum_before, sum_of(protocol.values()));
+    }
+    case ProtocolKind::kPathAveraging: {
+      gossip::PathAveragingGossip protocol(graph, x0, rng);
+      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      return from_run(run, sum_before, sum_of(protocol.values()));
+    }
+    case ProtocolKind::kAffineAsync: {
+      HierarchyProtocolConfig config = options.async_protocol;
+      config.eps = options.eps;
+      HierarchicalAffineProtocol protocol(graph, x0, rng, config);
+      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      return from_run(run, sum_before, sum_of(protocol.values()));
+    }
+    case ProtocolKind::kAffineDecentralized: {
+      DecentralizedAffineGossip protocol(graph, x0, rng,
+                                         options.decentralized);
+      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      return from_run(run, sum_before, sum_of(protocol.values()));
+    }
+    case ProtocolKind::kAffineOneLevel:
+    case ProtocolKind::kAffineMultilevel: {
+      MultilevelConfig config = options.multilevel;
+      config.eps = options.eps;
+      if (kind == ProtocolKind::kAffineOneLevel) config.max_depth = 1;
+      MultilevelAffineGossip protocol(graph, x0, rng, config);
+      const auto result = protocol.run();
+      TrialOutcome outcome;
+      outcome.converged = result.converged;
+      outcome.final_error = result.final_error;
+      outcome.transmissions = result.transmissions;
+      outcome.sum_drift = std::abs(protocol.value_sum() - sum_before);
+      return outcome;
+    }
+  }
+  throw ArgumentError("run_protocol_trial: bad kind");
+}
+
+SweepPoint sweep_point(ProtocolKind kind, std::size_t n,
+                       double radius_multiplier, std::uint32_t seeds,
+                       std::uint64_t master_seed,
+                       const TrialOptions& options) {
+  GG_CHECK_ARG(seeds >= 1, "sweep_point: seeds >= 1");
+
+  stats::Quantiles tx_quantiles;
+  stats::RunningStat control_share;
+  std::uint32_t converged = 0;
+
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(derive_seed(master_seed, seed));
+    const auto graph =
+        graph::GeometricGraph::sample(n, radius_multiplier, rng);
+
+    // Mixed field: spike + gaussian — spike stresses worst-case locality,
+    // the gaussian part keeps the norm spread across nodes.
+    auto x0 = sim::gaussian_field(n, rng);
+    x0[rng.below(n)] += std::sqrt(static_cast<double>(n));
+    sim::center_and_normalize(x0);
+
+    const auto outcome = run_protocol_trial(kind, graph, x0, rng, options);
+    if (outcome.converged) {
+      ++converged;
+      const auto total = outcome.transmissions.total();
+      tx_quantiles.push(static_cast<double>(total));
+      if (total > 0) {
+        control_share.push(
+            static_cast<double>(
+                outcome.transmissions[sim::TxCategory::kControl]) /
+            static_cast<double>(total));
+      }
+    }
+  }
+
+  SweepPoint point;
+  point.n = n;
+  point.converged_fraction =
+      static_cast<double>(converged) / static_cast<double>(seeds);
+  if (tx_quantiles.count() > 0) {
+    point.median_tx = tx_quantiles.median();
+    point.q25_tx = tx_quantiles.quantile(0.25);
+    point.q75_tx = tx_quantiles.quantile(0.75);
+  }
+  point.mean_control_share = control_share.mean();
+  return point;
+}
+
+}  // namespace geogossip::core

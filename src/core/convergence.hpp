@@ -1,0 +1,86 @@
+// Cross-protocol transmissions-to-epsilon measurement harness.
+//
+// One entry point runs any of the implemented protocols on a given graph
+// and initial field until the epsilon-averaging criterion, returning the
+// transmission breakdown — the primitive behind experiment E5 (the headline
+// scaling table) and the integration tests.
+#ifndef GEOGOSSIP_CORE_CONVERGENCE_HPP
+#define GEOGOSSIP_CORE_CONVERGENCE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/decentralized.hpp"
+#include "core/hierarchy_protocol.hpp"
+#include "core/multilevel.hpp"
+#include "gossip/geographic.hpp"
+#include "graph/geometric_graph.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip::core {
+
+enum class ProtocolKind {
+  kBoydPairwise,        ///< nearest-neighbour gossip (Boyd et al.)
+  kDimakisGeographic,   ///< geographic gossip (Dimakis et al.)
+  kPathAveraging,       ///< geographic gossip with path averaging (extension)
+  kAffineOneLevel,      ///< this paper, §3 one-level (round accounting)
+  kAffineMultilevel,    ///< this paper, full hierarchy (round accounting)
+  kAffineAsync,         ///< this paper, §4.2 asynchronous state machine
+  kAffineDecentralized, ///< §8 extension: no control, rate separation only
+};
+
+std::string_view protocol_kind_name(ProtocolKind kind) noexcept;
+ProtocolKind parse_protocol_kind(const std::string& name);
+
+struct TrialOptions {
+  double eps = 1e-3;
+  /// Tick cap override for engine-driven protocols (0 = per-protocol
+  /// heuristic, generous enough for the expected convergence time).
+  std::uint64_t max_ticks = 0;
+  /// Round-accounting configuration for the affine protocols.
+  MultilevelConfig multilevel;
+  /// Async state-machine configuration.
+  HierarchyProtocolConfig async_protocol;
+  /// Decentralized-extension configuration.
+  DecentralizedConfig decentralized;
+  /// Dimakis baseline configuration.
+  gossip::GeographicOptions geographic;
+};
+
+struct TrialOutcome {
+  bool converged = false;
+  double final_error = 1.0;
+  sim::TxSnapshot transmissions;
+  /// Conservation check: |sum x(end) - sum x(0)|.
+  double sum_drift = 0.0;
+};
+
+/// Runs one protocol once.  `x0` should already be centred (the harness
+/// does not modify it).
+TrialOutcome run_protocol_trial(ProtocolKind kind,
+                                const graph::GeometricGraph& graph,
+                                const std::vector<double>& x0, Rng& rng,
+                                const TrialOptions& options = {});
+
+/// Aggregate over seeds: median / quartiles of total transmissions.
+struct SweepPoint {
+  std::size_t n = 0;
+  double median_tx = 0.0;
+  double q25_tx = 0.0;
+  double q75_tx = 0.0;
+  double converged_fraction = 0.0;
+  double mean_control_share = 0.0;  ///< control tx / total tx
+};
+
+/// Runs `seeds` independent trials of `kind` at size n (fresh graph and
+/// spike+gaussian-mixed field per seed) and aggregates.
+SweepPoint sweep_point(ProtocolKind kind, std::size_t n,
+                       double radius_multiplier, std::uint32_t seeds,
+                       std::uint64_t master_seed,
+                       const TrialOptions& options = {});
+
+}  // namespace geogossip::core
+
+#endif  // GEOGOSSIP_CORE_CONVERGENCE_HPP

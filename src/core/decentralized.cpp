@@ -1,0 +1,138 @@
+#include "core/decentralized.hpp"
+
+#include <cmath>
+
+#include "core/affine.hpp"
+#include "core/round_protocol.hpp"
+#include "routing/greedy.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::core {
+
+using geometry::Vec2;
+using graph::NodeId;
+
+DecentralizedAffineGossip::DecentralizedAffineGossip(
+    const graph::GeometricGraph& graph, std::vector<double> x0, Rng& rng,
+    const DecentralizedConfig& config)
+    : ValueProtocol(graph, std::move(x0), rng),
+      config_(config),
+      grid_(graph.region(),
+            static_cast<int>(std::llround(std::sqrt(static_cast<double>(
+                geometry::paper_subsquare_count(
+                    static_cast<double>(graph.node_count()))))))) {
+  GG_CHECK_ARG(config.separation > 0.0, "separation must be positive");
+
+  const std::size_t n = graph.node_count();
+  square_of_.resize(n);
+  occupancy_.assign(static_cast<std::size_t>(grid_.cell_count()), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cell = grid_.cell_of(graph.position(static_cast<NodeId>(i)));
+    GG_CHECK(cell >= 0, "sensor outside the deployment region");
+    square_of_[i] = static_cast<std::uint16_t>(cell);
+    ++occupancy_[static_cast<std::size_t>(cell)];
+  }
+  for (std::uint32_t cell = 0;
+       cell < static_cast<std::uint32_t>(grid_.cell_count()); ++cell) {
+    if (occupancy_[cell] > 0) nonempty_squares_.push_back(cell);
+  }
+
+  if (config.far_probability > 0.0) {
+    far_probability_ = std::min(1.0, config.far_probability);
+  } else {
+    const double m = static_cast<double>(n) /
+                     static_cast<double>(grid_.cell_count());
+    far_probability_ =
+        std::min(1.0, 1.0 / (config.separation * m * std::log(m + 1.0)));
+  }
+}
+
+void DecentralizedAffineGossip::near(NodeId node) {
+  // Uniform neighbour inside the own square (reservoir over the scan).
+  const std::uint16_t home = square_of_[node];
+  std::uint32_t candidates = 0;
+  NodeId chosen = node;
+  for (const NodeId u : graph_->neighbors(node)) {
+    if (square_of_[u] != home) continue;
+    ++candidates;
+    if (rng_->below(candidates) == 0) chosen = u;
+  }
+  if (candidates == 0) return;
+  const double average = 0.5 * (x_[node] + x_[chosen]);
+  x_[node] = average;
+  x_[chosen] = average;
+  meter_.add(sim::TxCategory::kLocal, 2);
+  ++near_exchanges_;
+}
+
+void DecentralizedAffineGossip::dilute(NodeId node) {
+  // Local gather + broadcast over the in-square one-hop neighbourhood:
+  // every participant ends at the neighbourhood mean.  Cost: one gather
+  // and one broadcast transmission per neighbour.
+  const std::uint16_t home = square_of_[node];
+  scratch_.clear();
+  scratch_.push_back(node);
+  for (const NodeId u : graph_->neighbors(node)) {
+    if (square_of_[u] == home) scratch_.push_back(u);
+  }
+  if (scratch_.size() < 2) return;
+  double mean = 0.0;
+  for (const NodeId u : scratch_) mean += x_[u];
+  mean /= static_cast<double>(scratch_.size());
+  for (const NodeId u : scratch_) x_[u] = mean;
+  meter_.add(sim::TxCategory::kLocal, 2 * (scratch_.size() - 1));
+}
+
+void DecentralizedAffineGossip::far(NodeId node) {
+  if (nonempty_squares_.size() < 2) return;
+  // Uniform non-empty square other than the own one.
+  const std::uint16_t home = square_of_[node];
+  std::uint32_t target_square = home;
+  for (int attempt = 0; attempt < 64 && target_square == home; ++attempt) {
+    target_square =
+        static_cast<std::uint32_t>(nonempty_squares_[rng_->below(
+            nonempty_squares_.size())]);
+  }
+  if (target_square == home) return;
+
+  // Route to a uniform position inside the target square (a fresh random
+  // landing node each time spreads the perturbation load).
+  const geometry::Rect target_rect =
+      grid_.cell_rect(static_cast<int>(target_square));
+  const Vec2 target{rng_->uniform(target_rect.lo().x, target_rect.hi().x),
+                    rng_->uniform(target_rect.lo().y, target_rect.hi().y)};
+  routing::RouteOptions options;
+  options.max_hops = config_.max_hops;
+  const auto there =
+      routing::route_to_position(*graph_, node, target, options);
+  meter_.add(sim::TxCategory::kLongRange, there.hops);
+  if (!there.arrived()) return;
+  const NodeId peer = there.final_node;
+  if (peer == node || square_of_[peer] == home) return;
+
+  // Reply packet back to the initiator (position known from the request).
+  const auto back = routing::route_to_node(*graph_, peer, node, options);
+  meter_.add(sim::TxCategory::kLongRange, back.hops);
+  if (!back.arrived()) return;  // atomic commit, as in the baselines
+
+  const double beta = exchange_beta(
+      BetaMode::kActualHarmonic, 1.0,
+      occupancy_[home], occupancy_[square_of_[peer]]);
+  affine_jump_update(x_[node], x_[peer], beta);
+  ++far_exchanges_;
+
+  if (config_.dilute_jumps) {
+    dilute(node);
+    dilute(peer);
+  }
+}
+
+void DecentralizedAffineGossip::on_tick(const sim::Tick& tick) {
+  if (rng_->bernoulli(far_probability_)) {
+    far(tick.node);
+  } else {
+    near(tick.node);
+  }
+}
+
+}  // namespace geogossip::core

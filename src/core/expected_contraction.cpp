@@ -1,0 +1,135 @@
+#include "core/expected_contraction.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace geogossip::core {
+
+DenseMatrix expected_update_gram(const std::vector<double>& alphas) {
+  const std::size_t n = alphas.size();
+  GG_CHECK_ARG(n >= 2, "expected_update_gram: n >= 2");
+  DenseMatrix m;
+  m.n = n;
+  m.data.assign(n * n, 0.0);
+  const double nn = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gi = 1.0 - 2.0 * alphas[i];
+    m.at(i, i) = 1.0 + (gi * gi - 1.0) / nn;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double gj = 1.0 - 2.0 * alphas[j];
+      m.at(i, j) = (1.0 - gi * gj) / (nn * (nn - 1.0));
+    }
+  }
+  return m;
+}
+
+DenseMatrix monte_carlo_update_gram(const std::vector<double>& alphas,
+                                    std::uint64_t samples, Rng& rng) {
+  const std::size_t n = alphas.size();
+  GG_CHECK_ARG(n >= 2, "monte_carlo_update_gram: n >= 2");
+  GG_CHECK_ARG(samples >= 1, "monte_carlo_update_gram: samples >= 1");
+
+  DenseMatrix accum;
+  accum.n = n;
+  accum.data.assign(n * n, 0.0);
+
+  // A = I - (e_i - e_j)(a_i e_i - a_j e_j)^T differs from I only in rows i
+  // and j:  row i gains (-a_i at col i, +a_j at col j), row j the mirror.
+  // A^T A = I + D where D has a closed 2x2-support structure; accumulate it
+  // explicitly per sample to keep the estimate exact.
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const std::size_t i = rng.below(n);
+    const std::size_t j = rng.below_excluding(n, i);
+    const double ai = alphas[i];
+    const double aj = alphas[j];
+    // Columns of A: col i = e_i - a_i (e_i - e_j); col j = e_j + a_j(e_i-e_j).
+    // (A^T A)_{rc} = col_r . col_c; only entries with r,c in {i,j} differ
+    // from identity.
+    const double cii = (1.0 - ai) * (1.0 - ai) + ai * ai;
+    const double cjj = (1.0 - aj) * (1.0 - aj) + aj * aj;
+    const double cij = aj * (1.0 - ai) - ai * (1.0 - aj);
+    accum.at(i, i) += cii - 1.0;
+    accum.at(j, j) += cjj - 1.0;
+    accum.at(i, j) += cij;
+    accum.at(j, i) += cij;
+  }
+
+  DenseMatrix out;
+  out.n = n;
+  out.data.assign(n * n, 0.0);
+  const double inv = 1.0 / static_cast<double>(samples);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      out.at(r, c) = (r == c ? 1.0 : 0.0) + accum.at(r, c) * inv;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void project_zero_sum(std::vector<double>& v) {
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  for (double& x : v) x -= mean;
+}
+
+double norm(const std::vector<double>& v) {
+  double accum = 0.0;
+  for (const double x : v) accum += x * x;
+  return std::sqrt(accum);
+}
+
+}  // namespace
+
+double contraction_factor_zero_sum(const DenseMatrix& m,
+                                   std::uint32_t iterations, Rng& rng) {
+  const std::size_t n = m.n;
+  GG_CHECK_ARG(n >= 2, "contraction_factor_zero_sum: n >= 2");
+  GG_CHECK_ARG(iterations >= 1, "contraction_factor_zero_sum: iterations >= 1");
+
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal();
+  project_zero_sum(v);
+  double v_norm = norm(v);
+  GG_CHECK(v_norm > 0.0, "degenerate start vector");
+  for (double& x : v) x /= v_norm;
+
+  std::vector<double> w(n);
+  double eigen = 0.0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // w = M v
+    for (std::size_t r = 0; r < n; ++r) {
+      double accum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) accum += m.at(r, c) * v[c];
+      w[r] = accum;
+    }
+    project_zero_sum(w);
+    const double w_norm = norm(w);
+    GG_CHECK(w_norm > 0.0, "power iteration collapsed to zero");
+    // Rayleigh quotient with the previous (unit) vector.
+    eigen = 0.0;
+    for (std::size_t r = 0; r < n; ++r) eigen += v[r] * w[r];
+    for (std::size_t r = 0; r < n; ++r) v[r] = w[r] / w_norm;
+  }
+  return eigen;
+}
+
+double lemma1_explicit_bound(std::size_t n) {
+  GG_CHECK_ARG(n >= 2, "lemma1_explicit_bound: n >= 2");
+  return 1.0 - 8.0 / (9.0 * (static_cast<double>(n) - 1.0));
+}
+
+double max_abs_difference(const DenseMatrix& a, const DenseMatrix& b) {
+  GG_CHECK_ARG(a.n == b.n, "matrix size mismatch");
+  double best = 0.0;
+  for (std::size_t k = 0; k < a.data.size(); ++k) {
+    best = std::max(best, std::abs(a.data[k] - b.data[k]));
+  }
+  return best;
+}
+
+}  // namespace geogossip::core

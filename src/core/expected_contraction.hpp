@@ -1,0 +1,54 @@
+// Closed-form E[A^T A] of the mirrored affine update on K_n (Lemma 1's
+// central object) and its empirical / spectral validation (experiment E4).
+//
+// For one asynchronous exchange between a uniform ordered pair (i, j) with
+// mirrored coefficients (a_i, a_j), the update matrix is
+//     A = I - (e_i - e_j)(a_i e_i - a_j e_j)^T
+// and the paper's expansion (appendix, first display) gives, entrywise:
+//     M_ii = 1 + ((1 - 2 a_i)^2 - 1) / n
+//     M_ij = (1 - (1 - 2 a_i)(1 - 2 a_j)) / (n (n - 1)),   i != j
+// Lemma 1 then bounds sup of x^T M x over zero-sum unit x by
+// 1 - 8 / (9 (n - 1)) < 1 - 1/(2n) whenever every a_i is in (1/3, 1/2).
+#ifndef GEOGOSSIP_CORE_EXPECTED_CONTRACTION_HPP
+#define GEOGOSSIP_CORE_EXPECTED_CONTRACTION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace geogossip::core {
+
+/// Dense symmetric matrix in row-major order.
+struct DenseMatrix {
+  std::size_t n = 0;
+  std::vector<double> data;
+
+  double& at(std::size_t r, std::size_t c) { return data[r * n + c]; }
+  double at(std::size_t r, std::size_t c) const { return data[r * n + c]; }
+};
+
+/// Closed-form E[A^T A] for per-node coefficients `alphas` (size n >= 2).
+DenseMatrix expected_update_gram(const std::vector<double>& alphas);
+
+/// Monte Carlo estimate of E[A^T A]: averages A^T A over `samples` uniform
+/// ordered pairs.  Used by tests to validate the closed form.
+DenseMatrix monte_carlo_update_gram(const std::vector<double>& alphas,
+                                    std::uint64_t samples, Rng& rng);
+
+/// Largest eigenvalue of P M P where P projects onto the zero-sum subspace
+/// (power iteration with per-step projection; M must be symmetric PSD).
+/// This is the exact one-step contraction factor of E||x(t)||^2 for
+/// worst-case zero-sum x.
+double contraction_factor_zero_sum(const DenseMatrix& m,
+                                   std::uint32_t iterations, Rng& rng);
+
+/// The paper's explicit bound from Lemma 1's proof: 1 - 8 / (9 (n - 1)).
+double lemma1_explicit_bound(std::size_t n);
+
+/// Max absolute entry difference between two matrices of equal size.
+double max_abs_difference(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace geogossip::core
+
+#endif  // GEOGOSSIP_CORE_EXPECTED_CONTRACTION_HPP

@@ -1,0 +1,257 @@
+#include "core/hierarchy_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/affine.hpp"
+#include "routing/greedy.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::core {
+
+using geometry::SquareInfo;
+using graph::NodeId;
+
+namespace {
+
+geometry::HierarchyConfig hierarchy_config_from(
+    const HierarchyProtocolConfig& config) {
+  geometry::HierarchyConfig h;
+  h.threshold = geometry::HierarchyConfig::Threshold::kPractical;
+  h.leaf_occupancy = config.leaf_threshold;
+  h.max_depth = config.max_depth;
+  return h;
+}
+
+}  // namespace
+
+HierarchicalAffineProtocol::HierarchicalAffineProtocol(
+    const graph::GeometricGraph& graph, std::vector<double> x0, Rng& rng,
+    const HierarchyProtocolConfig& config)
+    : ValueProtocol(graph, std::move(x0), rng),
+      config_(config),
+      hierarchy_(graph.points(), graph.region(), hierarchy_config_from(config)) {
+  GG_CHECK_ARG(config.eps > 0.0 && config.eps < 1.0, "eps in (0,1)");
+  GG_CHECK_ARG(config.latency_factor >= 1.0, "latency_factor >= 1");
+
+  const std::size_t n = graph.node_count();
+  local_on_.assign(n, 0);
+  global_on_.assign(n, 0);
+  counter_.assign(n, 0);
+  square_active_.assign(hierarchy_.square_count(), 0);
+
+  compute_budgets();
+
+  // Initialization (§4.2): only the root representative's global.state is on.
+  const auto& root = hierarchy_.square(hierarchy_.root());
+  GG_CHECK(root.representative >= 0, "root square has no representative");
+  global_on_[static_cast<std::size_t>(root.representative)] = 1;
+}
+
+void HierarchicalAffineProtocol::compute_budgets() {
+  const std::size_t squares = hierarchy_.square_count();
+  t_avg_.assign(squares, 1.0);
+  p_far_.assign(squares, 0.0);
+  budget_.assign(squares, 1);
+
+  // Post-order (children have larger arena indices than parents by
+  // construction, so a reverse sweep is a valid post-order).
+  for (std::size_t id = squares; id-- > 0;) {
+    const SquareInfo& sq = hierarchy_.square(static_cast<int>(id));
+    const double eps_d =
+        config_.eps / std::pow(config_.eps_decay, sq.depth);
+    if (sq.is_leaf()) {
+      const double side_over_radius = sq.rect.width() / graph_->radius();
+      const double mixing =
+          std::max(1.0, side_over_radius * side_over_radius);
+      const double m = std::max(2.0, sq.expected_occupancy);
+      t_avg_[id] = config_.budget_constant * mixing *
+                   2.0 * std::log(m / eps_d);
+    } else {
+      double child_latency = 1.0;
+      std::size_t nonempty = 0;
+      for (const int child : sq.children) {
+        if (hierarchy_.square(child).members.empty()) continue;
+        ++nonempty;
+        child_latency = std::max(
+            child_latency, t_avg_[static_cast<std::size_t>(child)]);
+      }
+      const double k = std::max<double>(2.0, static_cast<double>(nonempty));
+      t_avg_[id] = config_.round_constant * std::log(k / eps_d) *
+                   config_.latency_factor * child_latency;
+    }
+    p_far_[id] =
+        std::min(1.0, 1.0 / (config_.latency_factor * t_avg_[id]));
+    budget_[id] = static_cast<std::uint32_t>(
+        std::max(1.0, std::ceil(t_avg_[id])));
+  }
+}
+
+double HierarchicalAffineProtocol::averaging_time(int square_id) const {
+  GG_CHECK_ARG(square_id >= 0 &&
+                   static_cast<std::size_t>(square_id) < t_avg_.size(),
+               "square id out of range");
+  return t_avg_[static_cast<std::size_t>(square_id)];
+}
+
+std::uint32_t HierarchicalAffineProtocol::cached_route_hops(NodeId from,
+                                                            NodeId to) {
+  const auto key = std::minmax(from, to);
+  const auto it = route_cache_.find({key.first, key.second});
+  if (it != route_cache_.end()) return it->second;
+  const auto route = routing::route_to_node(*graph_, key.first, key.second);
+  std::uint32_t hops = route.hops;
+  if (!route.arrived()) {
+    const double dist = geometry::distance(graph_->position(key.first),
+                                           graph_->position(key.second));
+    hops += static_cast<std::uint32_t>(std::ceil(dist / graph_->radius()));
+  }
+  route_cache_[{key.first, key.second}] = hops;
+  return hops;
+}
+
+void HierarchicalAffineProtocol::activate_square(int square_id) {
+  const SquareInfo& sq = hierarchy_.square(square_id);
+  square_active_[static_cast<std::size_t>(square_id)] = 1;
+  ++activations_;
+  if (sq.is_leaf()) {
+    // Level 1: flood local.state = on; one broadcast per member.
+    for (const auto member : sq.members) local_on_[member] = 1;
+    meter_.add(sim::TxCategory::kControl, sq.members.size());
+    return;
+  }
+  const auto rep = static_cast<NodeId>(sq.representative);
+  for (const int child : sq.children) {
+    const auto& child_info = hierarchy_.square(child);
+    if (child_info.representative < 0) continue;
+    const auto child_rep = static_cast<NodeId>(child_info.representative);
+    global_on_[child_rep] = 1;
+    counter_[child_rep] = 0;
+    meter_.add(sim::TxCategory::kControl, cached_route_hops(rep, child_rep));
+  }
+}
+
+void HierarchicalAffineProtocol::deactivate_square(int square_id) {
+  const SquareInfo& sq = hierarchy_.square(square_id);
+  square_active_[static_cast<std::size_t>(square_id)] = 0;
+  if (sq.is_leaf()) {
+    for (const auto member : sq.members) local_on_[member] = 0;
+    meter_.add(sim::TxCategory::kControl, sq.members.size());
+    return;
+  }
+  const auto rep = static_cast<NodeId>(sq.representative);
+  for (const int child : sq.children) {
+    const auto& child_info = hierarchy_.square(child);
+    if (child_info.representative < 0) continue;
+    const auto child_rep = static_cast<NodeId>(child_info.representative);
+    global_on_[child_rep] = 0;
+    meter_.add(sim::TxCategory::kControl, cached_route_hops(rep, child_rep));
+  }
+}
+
+void HierarchicalAffineProtocol::near(NodeId node) {
+  // Average with a uniform neighbour inside the same leaf square.
+  const int leaf = hierarchy_.leaf_of(node);
+  std::uint32_t candidates = 0;
+  NodeId chosen = node;
+  for (const NodeId u : graph_->neighbors(node)) {
+    if (hierarchy_.leaf_of(u) != leaf) continue;
+    ++candidates;
+    if (rng_->below(candidates) == 0) chosen = u;  // reservoir pick
+  }
+  if (candidates == 0) return;
+  const double average = 0.5 * (x_[node] + x_[chosen]);
+  x_[node] = average;
+  x_[chosen] = average;
+  meter_.add(sim::TxCategory::kLocal, 2);
+  ++near_exchanges_;
+}
+
+void HierarchicalAffineProtocol::far(NodeId node, int square_id) {
+  const SquareInfo& sq = hierarchy_.square(square_id);
+  if (sq.parent < 0) return;  // the root has no siblings
+  const SquareInfo& parent = hierarchy_.square(sq.parent);
+
+  // Uniform sibling square with a representative.
+  std::uint32_t candidates = 0;
+  int chosen = -1;
+  for (const int sibling : parent.children) {
+    if (sibling == square_id) continue;
+    const auto& info = hierarchy_.square(sibling);
+    if (info.representative < 0) continue;
+    ++candidates;
+    if (rng_->below(candidates) == 0) chosen = sibling;
+  }
+  if (chosen < 0) return;
+
+  const auto& sibling = hierarchy_.square(chosen);
+  const auto peer = static_cast<NodeId>(sibling.representative);
+
+  meter_.add(sim::TxCategory::kLongRange, cached_route_hops(node, peer));
+  meter_.add(sim::TxCategory::kLongRange, cached_route_hops(peer, node));
+
+  const double beta =
+      exchange_beta(config_.beta_mode, sq.expected_occupancy,
+                    std::max<std::size_t>(1, sq.occupancy()),
+                    std::max<std::size_t>(1, sibling.occupancy()));
+  affine_jump_update(x_[node], x_[peer], beta);
+  ++far_exchanges_;
+
+  // §4.2 Far step 5 + the post-Far reset: both representatives restart
+  // their squares' averaging.  The literal pseudocode re-activates via the
+  // "counter == 0" check, but the counter is incremented again within the
+  // same tick (step 3), so the check can never fire after a Far; we follow
+  // the evident intent of §3 step 5 ("A is ... activated by s_i") and
+  // re-activate both squares immediately.
+  counter_[node] = 0;
+  counter_[peer] = 0;
+  if (square_active_[static_cast<std::size_t>(square_id)] == 0) {
+    activate_square(square_id);
+  }
+  if (square_active_[static_cast<std::size_t>(chosen)] == 0) {
+    activate_square(chosen);
+  }
+}
+
+void HierarchicalAffineProtocol::on_tick(const sim::Tick& tick) {
+  const NodeId node = tick.node;
+  const int level = hierarchy_.node_level(node);
+
+  if (level == 0) {
+    if (local_on_[node] != 0) near(node);
+    return;
+  }
+
+  const int square_id = hierarchy_.represented_square(node);
+  GG_CHECK(square_id >= 0, "levelled node without a represented square");
+  const auto sid = static_cast<std::size_t>(square_id);
+
+  if (global_on_[node] != 0) {
+    if (counter_[node] == 0 && square_active_[sid] == 0) {
+      activate_square(square_id);
+    }
+    // Separation invariant (§6): no long-range exchange while the own
+    // square is still averaging — enforced deterministically (see header).
+    if (square_active_[sid] == 0 &&
+        hierarchy_.square(square_id).parent >= 0 &&
+        rng_->bernoulli(p_far_[sid])) {
+      far(node, square_id);
+    }
+  }
+
+  if (local_on_[node] != 0) near(node);
+
+  const bool is_root = hierarchy_.square(square_id).parent < 0;
+  if (global_on_[node] != 0 && !is_root) {
+    if (counter_[node] >= budget_[sid]) {
+      if (square_active_[sid] != 0) deactivate_square(square_id);
+    } else {
+      ++counter_[node];
+    }
+  } else if (global_on_[node] != 0) {
+    // The root never deactivates; its counter only gates re-activation.
+    if (counter_[node] < budget_[sid]) ++counter_[node];
+  }
+}
+
+}  // namespace geogossip::core

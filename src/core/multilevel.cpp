@@ -1,0 +1,343 @@
+#include "core/multilevel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/affine.hpp"
+#include "routing/greedy.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::core {
+
+using geometry::SquareInfo;
+using graph::NodeId;
+
+namespace {
+
+geometry::HierarchyConfig hierarchy_config_from(
+    const MultilevelConfig& config) {
+  geometry::HierarchyConfig h;
+  h.threshold = geometry::HierarchyConfig::Threshold::kPractical;
+  h.leaf_occupancy = config.leaf_threshold;
+  h.max_depth = config.max_depth;
+  return h;
+}
+
+}  // namespace
+
+MultilevelAffineGossip::MultilevelAffineGossip(
+    const graph::GeometricGraph& graph, std::vector<double> x0, Rng& rng,
+    const MultilevelConfig& config)
+    : graph_(&graph),
+      config_(config),
+      hierarchy_(graph.points(), graph.region(), hierarchy_config_from(config)),
+      x_(std::move(x0)),
+      rng_(&rng) {
+  GG_CHECK_ARG(x_.size() == graph.node_count(),
+               "initial values must match node count");
+  GG_CHECK_ARG(config.eps > 0.0 && config.eps < 1.0, "eps in (0,1)");
+  GG_CHECK_ARG(config.max_depth >= 1, "max_depth >= 1");
+  GG_CHECK_ARG(config.eps_decay > 1.0, "eps_decay > 1");
+  GG_CHECK_ARG(config.round_constant > 0.0, "round_constant > 0");
+  resync_tracking();
+}
+
+double MultilevelAffineGossip::value_sum() const noexcept { return sum_; }
+
+void MultilevelAffineGossip::set_value(std::uint32_t node, double value) {
+  const double old = x_[node];
+  sum_ += value - old;
+  sum_sq_ += value * value - old * old;
+  x_[node] = value;
+}
+
+void MultilevelAffineGossip::resync_tracking() {
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  for (const double v : x_) {
+    sum_ += v;
+    sum_sq_ += v * v;
+  }
+}
+
+double MultilevelAffineGossip::deviation_norm_tracked() const {
+  const double n = static_cast<double>(x_.size());
+  const double dev_sq = sum_sq_ - sum_ * sum_ / n;
+  return std::sqrt(std::max(0.0, dev_sq));
+}
+
+double MultilevelAffineGossip::eps_at_depth(int depth) const {
+  return config_.eps / std::pow(config_.eps_decay, depth);
+}
+
+std::vector<int> MultilevelAffineGossip::nonempty_children(
+    const SquareInfo& square) const {
+  std::vector<int> out;
+  out.reserve(square.children.size());
+  for (const int child : square.children) {
+    if (!hierarchy_.square(child).members.empty()) out.push_back(child);
+  }
+  return out;
+}
+
+std::uint32_t MultilevelAffineGossip::rounds_for(
+    const SquareInfo& square) const {
+  const auto children = nonempty_children(square);
+  if (children.size() < 2) return 0;
+  const double k = static_cast<double>(children.size());
+  const double eps = eps_at_depth(square.depth);
+  return static_cast<std::uint32_t>(
+      std::ceil(config_.round_constant * k * std::log(k / eps)));
+}
+
+std::uint32_t MultilevelAffineGossip::cached_route_hops(NodeId from,
+                                                        NodeId to) {
+  const auto key = std::minmax(from, to);
+  const auto it = route_cache_.find({key.first, key.second});
+  if (it != route_cache_.end()) return it->second;
+  const auto route = routing::route_to_node(*graph_, key.first, key.second);
+  // Greedy routing on a connected G(n, r) at the paper's radius delivers
+  // w.h.p.; if it fails here, fall back to the straight-line hop estimate
+  // so accounting stays defined (failure is tracked by routing tests).
+  std::uint32_t hops = route.hops;
+  if (!route.arrived()) {
+    const double dist = geometry::distance(graph_->position(key.first),
+                                           graph_->position(key.second));
+    hops = static_cast<std::uint32_t>(
+        std::ceil(dist / graph_->radius())) + route.hops;
+  }
+  route_cache_[{key.first, key.second}] = hops;
+  return hops;
+}
+
+void MultilevelAffineGossip::charge_activation(const SquareInfo& square) {
+  if (!config_.charge_control) return;
+  if (square.is_leaf()) {
+    // Level-1 activation + deactivation: flood the square twice.
+    meter_.add(sim::TxCategory::kControl, 2 * square.members.size());
+    return;
+  }
+  // Higher level: one routed control packet per child representative,
+  // on activation and deactivation.
+  const NodeId rep = static_cast<NodeId>(square.representative);
+  for (const int child : square.children) {
+    const auto& child_info = hierarchy_.square(child);
+    if (child_info.representative < 0) continue;
+    const auto hops =
+        cached_route_hops(rep, static_cast<NodeId>(child_info.representative));
+    meter_.add(sim::TxCategory::kControl, 2ull * hops);
+  }
+}
+
+void MultilevelAffineGossip::measured_leaf_average(const SquareInfo& square,
+                                                   double eps) {
+  // Run actual nearest-neighbour gossip restricted to the square until the
+  // in-square deviation shrinks by eps (relative to the in-square start).
+  const auto& members = square.members;
+  const std::size_t m = members.size();
+
+  double mean = 0.0;
+  for (const auto node : members) mean += x_[node];
+  mean /= static_cast<double>(m);
+  double dev_sq = 0.0;
+  for (const auto node : members) {
+    dev_sq += (x_[node] - mean) * (x_[node] - mean);
+  }
+  if (dev_sq == 0.0) return;
+  const double target_sq = dev_sq * eps * eps;
+
+  // Membership test for neighbour filtering.
+  const int leaf_id = hierarchy_.leaf_of(members.front());
+  const std::uint64_t tick_cap =
+      1000ull * m * static_cast<std::uint64_t>(
+                        std::ceil(std::log(static_cast<double>(m) / eps)));
+  std::uint64_t ticks = 0;
+  double current_sq = dev_sq;
+  while (current_sq > target_sq && ticks < tick_cap) {
+    ++ticks;
+    const auto node = members[rng_->below(m)];
+    // Uniform neighbour within the leaf square.
+    std::uint32_t in_leaf = 0;
+    NodeId chosen = node;
+    for (const NodeId u : graph_->neighbors(node)) {
+      if (hierarchy_.leaf_of(u) != leaf_id) continue;
+      ++in_leaf;
+      if (rng_->below(in_leaf) == 0) chosen = u;
+    }
+    if (in_leaf == 0 || chosen == node) continue;
+    const double avg = 0.5 * (x_[node] + x_[chosen]);
+    // Update the in-square deviation incrementally.
+    const double di = x_[node] - mean;
+    const double dj = x_[chosen] - mean;
+    const double da = avg - mean;
+    current_sq += 2.0 * da * da - di * di - dj * dj;
+    set_value(node, avg);
+    set_value(chosen, avg);
+    meter_.add(sim::TxCategory::kLocal, 2);
+  }
+}
+
+void MultilevelAffineGossip::leaf_average(const SquareInfo& square) {
+  const auto& members = square.members;
+  if (members.size() <= 1) return;
+  const double eps = eps_at_depth(square.depth);
+
+  if (config_.leaf_cost == LeafCostModel::kMeasured) {
+    measured_leaf_average(square, eps);
+    return;
+  }
+
+  // Idealized averaging: charge the model cost, set members to the mean,
+  // optionally perturb (Lemma 2's imperfect-averaging noise).
+  const double side_over_radius = square.rect.width() / graph_->radius();
+  meter_.add(sim::TxCategory::kLocal,
+             charged_leaf_cost(config_.leaf_cost, members.size(),
+                               side_over_radius, eps, config_.leaf_constant));
+
+  double mean = 0.0;
+  for (const auto node : members) mean += x_[node];
+  mean /= static_cast<double>(members.size());
+
+  if (config_.leaf_noise == 0.0) {
+    for (const auto node : members) set_value(node, mean);
+    return;
+  }
+  std::vector<double> noise(members.size());
+  double noise_mean = 0.0;
+  for (double& nu : noise) {
+    nu = rng_->uniform(-config_.leaf_noise, config_.leaf_noise);
+    noise_mean += nu;
+  }
+  noise_mean /= static_cast<double>(members.size());
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    // Centre the noise so the square sum (and hence the global average)
+    // is conserved exactly, matching Lemma 2's +nu/-nu structure.
+    set_value(members[k], mean + noise[k] - noise_mean);
+  }
+}
+
+void MultilevelAffineGossip::exchange(const SquareInfo& parent, int child_i,
+                                      int child_j) {
+  (void)parent;
+  const auto& info_i = hierarchy_.square(child_i);
+  const auto& info_j = hierarchy_.square(child_j);
+  GG_CHECK(info_i.representative >= 0 && info_j.representative >= 0,
+           "exchange between squares without representatives");
+  const auto rep_i = static_cast<NodeId>(info_i.representative);
+  const auto rep_j = static_cast<NodeId>(info_j.representative);
+
+  // Two greedy-routed packets: value there, value back.
+  const std::uint32_t hops_there = cached_route_hops(rep_i, rep_j);
+  const std::uint32_t hops_back = cached_route_hops(rep_j, rep_i);
+  meter_.add(sim::TxCategory::kLongRange, hops_there + hops_back);
+
+  const double beta =
+      exchange_beta(config_.beta_mode, info_i.expected_occupancy,
+                    info_i.occupancy(), info_j.occupancy());
+
+  // Effective square-level coefficients; the paper needs them in (1/3,1/2).
+  const double alpha_i = beta / static_cast<double>(info_i.occupancy());
+  const double alpha_j = beta / static_cast<double>(info_j.occupancy());
+  if (config_.beta_mode != BetaMode::kConvexRep &&
+      (!alpha_in_paper_range(alpha_i) || !alpha_in_paper_range(alpha_j))) {
+    ++alpha_out_of_range_;
+  }
+
+  double xi = x_[rep_i];
+  double xj = x_[rep_j];
+  affine_jump_update(xi, xj, beta);
+  set_value(rep_i, xi);
+  set_value(rep_j, xj);
+}
+
+void MultilevelAffineGossip::average_square(int square_id) {
+  const SquareInfo& square = hierarchy_.square(square_id);
+  if (square.members.empty()) return;
+
+  charge_activation(square);
+  if (square.is_leaf()) {
+    leaf_average(square);
+    return;
+  }
+
+  const auto children = nonempty_children(square);
+  if (children.size() == 1) {
+    average_square(children.front());
+    return;
+  }
+
+  // Activation: every child is averaged once before exchanges begin.
+  for (const int child : children) average_square(child);
+
+  const std::uint32_t rounds = rounds_for(square);
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    const std::size_t i = rng_->below(children.size());
+    const std::size_t j = rng_->below_excluding(children.size(), i);
+    exchange(square, children[i], children[j]);
+    average_square(children[i]);
+    average_square(children[j]);
+  }
+}
+
+MultilevelResult MultilevelAffineGossip::run() {
+  MultilevelResult result;
+
+  const double initial_dev = deviation_norm_tracked();
+  if (initial_dev == 0.0) {
+    result.converged = true;
+    result.final_error = 0.0;
+    result.transmissions = meter_.snapshot();
+    return result;
+  }
+
+  const SquareInfo& root = hierarchy_.square(hierarchy_.root());
+  const auto children = nonempty_children(root);
+
+  // Degenerate deployments: a root that is itself a leaf just averages.
+  if (root.is_leaf() || children.size() < 2) {
+    average_square(hierarchy_.root());
+    result.converged =
+        deviation_norm_tracked() <= config_.eps * initial_dev;
+    result.final_error = deviation_norm_tracked() / initial_dev;
+    result.transmissions = meter_.snapshot();
+    return result;
+  }
+
+  charge_activation(root);
+  for (const int child : children) average_square(child);
+
+  std::uint64_t max_rounds = config_.max_top_rounds;
+  if (max_rounds == 0) {
+    const double k = static_cast<double>(children.size());
+    max_rounds = static_cast<std::uint64_t>(
+        std::ceil(64.0 * k * std::log(k / config_.eps)));
+  }
+
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    const std::size_t i = rng_->below(children.size());
+    const std::size_t j = rng_->below_excluding(children.size(), i);
+    exchange(root, children[i], children[j]);
+    average_square(children[i]);
+    average_square(children[j]);
+    ++result.top_rounds;
+
+    if ((round & 0xFF) == 0xFF) resync_tracking();  // defeat FP drift
+    const double err = deviation_norm_tracked() / initial_dev;
+    if (config_.trace_every != 0 && round % config_.trace_every == 0) {
+      result.trace.emplace_back(meter_.total(), err);
+    }
+    if (err <= config_.eps) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  resync_tracking();
+  result.final_error = deviation_norm_tracked() / initial_dev;
+  result.converged = result.final_error <= config_.eps;
+  result.transmissions = meter_.snapshot();
+  result.alpha_out_of_range = alpha_out_of_range_;
+  return result;
+}
+
+}  // namespace geogossip::core

@@ -1,0 +1,65 @@
+#include "geometry/sampling.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace geogossip::geometry {
+
+std::vector<Vec2> sample_uniform(std::size_t n, const Rect& region, Rng& rng) {
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(region.lo().x, region.hi().x),
+                      rng.uniform(region.lo().y, region.hi().y)});
+  }
+  return points;
+}
+
+std::vector<Vec2> sample_unit_square(std::size_t n, Rng& rng) {
+  return sample_uniform(n, Rect::unit_square(), rng);
+}
+
+std::vector<Vec2> sample_jittered_grid(std::size_t n, const Rect& region,
+                                       Rng& rng) {
+  GG_CHECK_ARG(n >= 1, "sample_jittered_grid: n >= 1");
+  const int side = static_cast<int>(std::ceil(std::sqrt(
+      static_cast<double>(n))));
+  std::vector<Vec2> points;
+  points.reserve(n);
+  const double dx = region.width() / side;
+  const double dy = region.height() / side;
+  for (int row = 0; row < side && points.size() < n; ++row) {
+    for (int col = 0; col < side && points.size() < n; ++col) {
+      const double x = region.lo().x + (col + rng.next_double()) * dx;
+      const double y = region.lo().y + (row + rng.next_double()) * dy;
+      points.push_back({x, y});
+    }
+  }
+  return points;
+}
+
+std::vector<Vec2> sample_clustered(std::size_t n, const Rect& region,
+                                   std::size_t clusters, double sigma,
+                                   Rng& rng) {
+  GG_CHECK_ARG(clusters >= 1, "sample_clustered: clusters >= 1");
+  GG_CHECK_ARG(sigma > 0.0, "sample_clustered: sigma > 0");
+  const std::vector<Vec2> centers = sample_uniform(clusters, region, rng);
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 c = centers[rng.below(clusters)];
+    Vec2 p;
+    // Rejection-resample until the draw lands inside the region; sigma is
+    // small relative to the region so this terminates quickly.
+    int guard = 0;
+    do {
+      p = {rng.normal(c.x, sigma), rng.normal(c.y, sigma)};
+      GG_CHECK(++guard < 10000, "sample_clustered: resampling diverged");
+    } while (!region.contains(p));
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace geogossip::geometry

@@ -1,0 +1,35 @@
+// Point-set generation for sensor deployments.
+#ifndef GEOGOSSIP_GEOMETRY_SAMPLING_HPP
+#define GEOGOSSIP_GEOMETRY_SAMPLING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip::geometry {
+
+/// n points i.i.d. uniform on the rectangle (the paper's deployment model).
+std::vector<Vec2> sample_uniform(std::size_t n, const Rect& region, Rng& rng);
+
+/// n points i.i.d. uniform on the unit square.
+std::vector<Vec2> sample_unit_square(std::size_t n, Rng& rng);
+
+/// Perturbed grid: one point per cell of a ceil(sqrt(n)) grid, jittered
+/// uniformly inside the cell, truncated to n points.  A "nice" deployment
+/// used by tests to get deterministic-ish geometry.
+std::vector<Vec2> sample_jittered_grid(std::size_t n, const Rect& region,
+                                       Rng& rng);
+
+/// Clustered deployment: `clusters` Gaussian blobs (stddev sigma) truncated
+/// to the region by resampling.  A stress deployment for routing/occupancy
+/// failure-mode tests — NOT the paper's model.
+std::vector<Vec2> sample_clustered(std::size_t n, const Rect& region,
+                                   std::size_t clusters, double sigma,
+                                   Rng& rng);
+
+}  // namespace geogossip::geometry
+
+#endif  // GEOGOSSIP_GEOMETRY_SAMPLING_HPP

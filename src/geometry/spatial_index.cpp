@@ -1,0 +1,177 @@
+#include "geometry/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace geogossip::geometry {
+
+BucketGrid::BucketGrid(const std::vector<Vec2>& points, const Rect& region,
+                       double cell_size)
+    : points_(&points), region_(region) {
+  GG_CHECK_ARG(cell_size > 0.0, "BucketGrid: cell_size must be positive");
+  const double extent = std::max(region.width(), region.height());
+  side_ = std::max(1, static_cast<int>(std::floor(extent / cell_size)));
+  // Never let buckets shrink below the requested cell size; range queries
+  // with radius == cell_size must only need the 3x3 neighborhood.
+  cell_size_ = extent / side_;
+
+  // Counting sort into CSR.
+  const auto buckets = static_cast<std::size_t>(side_) * side_;
+  bucket_start_.assign(buckets + 1, 0);
+  for (const Vec2& p : points) {
+    GG_CHECK_ARG(region_.contains_closed(p),
+                 "BucketGrid: point outside region");
+    ++bucket_start_[static_cast<std::size_t>(bucket_of(p)) + 1];
+  }
+  for (std::size_t b = 1; b < bucket_start_.size(); ++b) {
+    bucket_start_[b] += bucket_start_[b - 1];
+  }
+  entries_.resize(points.size());
+  std::vector<std::uint32_t> cursor(bucket_start_.begin(),
+                                    bucket_start_.end() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto b = static_cast<std::size_t>(bucket_of(points[i]));
+    entries_[cursor[b]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+int BucketGrid::bucket_of(Vec2 p) const noexcept {
+  auto col = static_cast<int>((p.x - region_.lo().x) / cell_size_);
+  auto row = static_cast<int>((p.y - region_.lo().y) / cell_size_);
+  col = std::clamp(col, 0, side_ - 1);
+  row = std::clamp(row, 0, side_ - 1);
+  return row * side_ + col;
+}
+
+void BucketGrid::for_each_within(
+    Vec2 p, double radius,
+    const std::function<void(std::uint32_t)>& fn) const {
+  GG_CHECK_ARG(radius >= 0.0, "for_each_within: radius must be >= 0");
+  const double r_sq = radius * radius;
+  const int reach = static_cast<int>(std::ceil(radius / cell_size_));
+  const int pcol = std::clamp(
+      static_cast<int>((p.x - region_.lo().x) / cell_size_), 0, side_ - 1);
+  const int prow = std::clamp(
+      static_cast<int>((p.y - region_.lo().y) / cell_size_), 0, side_ - 1);
+  for (int row = std::max(0, prow - reach);
+       row <= std::min(side_ - 1, prow + reach); ++row) {
+    for (int col = std::max(0, pcol - reach);
+         col <= std::min(side_ - 1, pcol + reach); ++col) {
+      const auto b = static_cast<std::size_t>(row * side_ + col);
+      for (std::uint32_t e = bucket_start_[b]; e < bucket_start_[b + 1];
+           ++e) {
+        const std::uint32_t idx = entries_[e];
+        if (distance_sq((*points_)[idx], p) <= r_sq) fn(idx);
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> BucketGrid::within(Vec2 p, double radius) const {
+  std::vector<std::uint32_t> out;
+  for_each_within(p, radius, [&out](std::uint32_t idx) { out.push_back(idx); });
+  return out;
+}
+
+std::optional<std::uint32_t> BucketGrid::nearest(Vec2 p) const {
+  if (points_->empty()) return std::nullopt;
+  const int pcol = std::clamp(
+      static_cast<int>((p.x - region_.lo().x) / cell_size_), 0, side_ - 1);
+  const int prow = std::clamp(
+      static_cast<int>((p.y - region_.lo().y) / cell_size_), 0, side_ - 1);
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  std::uint32_t best = 0;
+  bool found = false;
+
+  const auto scan_bucket = [&](int row, int col) {
+    const auto b = static_cast<std::size_t>(row * side_ + col);
+    for (std::uint32_t e = bucket_start_[b]; e < bucket_start_[b + 1]; ++e) {
+      const std::uint32_t idx = entries_[e];
+      const double d_sq = distance_sq((*points_)[idx], p);
+      if (d_sq < best_sq || (d_sq == best_sq && found && idx < best)) {
+        best_sq = d_sq;
+        best = idx;
+        found = true;
+      }
+    }
+  };
+
+  // Expanding rings; stop once the closest possible point in the next ring
+  // cannot beat the current best.
+  for (int ring = 0; ring < 2 * side_; ++ring) {
+    const int row_lo = prow - ring;
+    const int row_hi = prow + ring;
+    const int col_lo = pcol - ring;
+    const int col_hi = pcol + ring;
+    bool scanned_any = false;
+    for (int row = std::max(0, row_lo); row <= std::min(side_ - 1, row_hi);
+         ++row) {
+      for (int col = std::max(0, col_lo); col <= std::min(side_ - 1, col_hi);
+           ++col) {
+        const bool on_ring = row == row_lo || row == row_hi ||
+                             col == col_lo || col == col_hi;
+        if (!on_ring) continue;
+        scanned_any = true;
+        scan_bucket(row, col);
+      }
+    }
+    if (found) {
+      // Points in ring k+1 are at distance >= k*cell_size from p.
+      const double ring_min = static_cast<double>(ring) * cell_size_;
+      if (ring_min * ring_min > best_sq) break;
+    }
+    if (!scanned_any && ring > side_) break;
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+std::optional<std::uint32_t> BucketGrid::nearest_in_rect(
+    Vec2 p, const Rect& rect) const {
+  double best_sq = std::numeric_limits<double>::infinity();
+  std::uint32_t best = 0;
+  bool found = false;
+  for (const std::uint32_t idx : points_in_rect(rect)) {
+    const double d_sq = distance_sq((*points_)[idx], p);
+    if (d_sq < best_sq || (d_sq == best_sq && found && idx < best)) {
+      best_sq = d_sq;
+      best = idx;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+std::vector<std::uint32_t> BucketGrid::points_in_rect(const Rect& rect) const {
+  std::vector<std::uint32_t> out;
+  const int col_lo = std::clamp(
+      static_cast<int>((rect.lo().x - region_.lo().x) / cell_size_), 0,
+      side_ - 1);
+  const int col_hi = std::clamp(
+      static_cast<int>((rect.hi().x - region_.lo().x) / cell_size_), 0,
+      side_ - 1);
+  const int row_lo = std::clamp(
+      static_cast<int>((rect.lo().y - region_.lo().y) / cell_size_), 0,
+      side_ - 1);
+  const int row_hi = std::clamp(
+      static_cast<int>((rect.hi().y - region_.lo().y) / cell_size_), 0,
+      side_ - 1);
+  for (int row = row_lo; row <= row_hi; ++row) {
+    for (int col = col_lo; col <= col_hi; ++col) {
+      const auto b = static_cast<std::size_t>(row * side_ + col);
+      for (std::uint32_t e = bucket_start_[b]; e < bucket_start_[b + 1];
+           ++e) {
+        const std::uint32_t idx = entries_[e];
+        if (rect.contains((*points_)[idx])) out.push_back(idx);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geogossip::geometry

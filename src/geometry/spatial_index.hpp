@@ -1,0 +1,64 @@
+// Bucket-grid spatial index over a fixed point set.
+//
+// This is the workhorse behind geometric-random-graph construction (range
+// queries with radius r using a grid of cell size r) and nearest-node lookup
+// (expanding ring search), replacing any O(n^2) scans.
+#ifndef GEOGOSSIP_GEOMETRY_SPATIAL_INDEX_HPP
+#define GEOGOSSIP_GEOMETRY_SPATIAL_INDEX_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+
+namespace geogossip::geometry {
+
+class BucketGrid {
+ public:
+  /// Indexes `points` (referenced, must outlive the index) over `region`
+  /// with square buckets of size >= cell_size.  Requires cell_size > 0 and
+  /// all points inside the closed region.
+  BucketGrid(const std::vector<Vec2>& points, const Rect& region,
+             double cell_size);
+
+  std::size_t size() const noexcept { return points_->size(); }
+  const std::vector<Vec2>& points() const noexcept { return *points_; }
+
+  /// Invokes fn(index) for every point with distance(p, point) <= radius.
+  /// The query point itself is reported too if it is in the set.
+  void for_each_within(Vec2 p, double radius,
+                       const std::function<void(std::uint32_t)>& fn) const;
+
+  /// Indices of all points within `radius` of p (inclusive).
+  std::vector<std::uint32_t> within(Vec2 p, double radius) const;
+
+  /// Index of the point nearest to p (ties: lowest index), or nullopt when
+  /// the point set is empty.  Expanding ring search: O(1) expected for
+  /// roughly uniform points.
+  std::optional<std::uint32_t> nearest(Vec2 p) const;
+
+  /// Nearest point to p among those lying inside `rect` (half-open), or
+  /// nullopt if the rect holds no points.
+  std::optional<std::uint32_t> nearest_in_rect(Vec2 p, const Rect& rect) const;
+
+  /// All point indices inside `rect` (half-open).
+  std::vector<std::uint32_t> points_in_rect(const Rect& rect) const;
+
+ private:
+  int bucket_of(Vec2 p) const noexcept;
+
+  const std::vector<Vec2>* points_;
+  Rect region_;
+  double cell_size_;
+  int side_;
+  // CSR layout: bucket b owns entries_[bucket_start_[b] .. bucket_start_[b+1]).
+  std::vector<std::uint32_t> bucket_start_;
+  std::vector<std::uint32_t> entries_;
+};
+
+}  // namespace geogossip::geometry
+
+#endif  // GEOGOSSIP_GEOMETRY_SPATIAL_INDEX_HPP

@@ -1,0 +1,20 @@
+#include "gossip/base.hpp"
+
+#include "support/check.hpp"
+
+namespace geogossip::gossip {
+
+ValueProtocol::ValueProtocol(const graph::GeometricGraph& graph,
+                             std::vector<double> x0, Rng& rng)
+    : graph_(&graph), x_(std::move(x0)), rng_(&rng) {
+  GG_CHECK_ARG(x_.size() == graph.node_count(),
+               "initial values must match node count");
+}
+
+double ValueProtocol::value_sum() const noexcept {
+  double sum = 0.0;
+  for (const double v : x_) sum += v;
+  return sum;
+}
+
+}  // namespace geogossip::gossip

@@ -1,0 +1,39 @@
+// Shared state for value-carrying gossip protocols on a geometric graph.
+#ifndef GEOGOSSIP_GOSSIP_BASE_HPP
+#define GEOGOSSIP_GOSSIP_BASE_HPP
+
+#include <span>
+#include <vector>
+
+#include "graph/geometric_graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip::gossip {
+
+/// Base class: holds the graph reference, per-node values, the RNG stream
+/// and the transmission meter.  Derived classes implement on_tick().
+class ValueProtocol : public sim::GossipProtocol {
+ public:
+  ValueProtocol(const graph::GeometricGraph& graph, std::vector<double> x0,
+                Rng& rng);
+
+  std::span<const double> values() const override { return x_; }
+  const sim::TxMeter& meter() const override { return meter_; }
+
+  /// Invariant observed by tests: pairwise/affine exchanges conserve the sum.
+  double value_sum() const noexcept;
+
+  const graph::GeometricGraph& graph() const noexcept { return *graph_; }
+
+ protected:
+  const graph::GeometricGraph* graph_;
+  std::vector<double> x_;
+  Rng* rng_;
+  sim::TxMeter meter_;
+};
+
+}  // namespace geogossip::gossip
+
+#endif  // GEOGOSSIP_GOSSIP_BASE_HPP

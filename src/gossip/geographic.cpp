@@ -1,0 +1,96 @@
+#include "gossip/geographic.hpp"
+
+#include <algorithm>
+
+#include "routing/greedy.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::gossip {
+
+using geometry::Vec2;
+using graph::NodeId;
+
+GeographicGossip::GeographicGossip(const graph::GeometricGraph& graph,
+                                   std::vector<double> x0, Rng& rng,
+                                   const GeographicOptions& options)
+    : ValueProtocol(graph, std::move(x0), rng), options_(options) {
+  if (options_.rejection_sampling) estimate_acceptance();
+}
+
+void GeographicGossip::estimate_acceptance() {
+  const std::size_t n = graph_->node_count();
+  const std::uint64_t samples =
+      static_cast<std::uint64_t>(options_.weight_samples_per_node) * n;
+  GG_CHECK_ARG(samples > 0, "weight_samples_per_node must be positive");
+
+  // q_hat[i] ~ P(node i is nearest to a uniform position) — proportional to
+  // the area of i's Voronoi cell intersected with the region.
+  std::vector<double> q_hat(n, 0.0);
+  const auto& region = graph_->region();
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const Vec2 p{rng_->uniform(region.lo().x, region.hi().x),
+                 rng_->uniform(region.lo().y, region.hi().y)};
+    q_hat[graph_->nearest_node(p)] += 1.0;
+  }
+  for (double& q : q_hat) q /= static_cast<double>(samples);
+
+  // Thinning target: accept node i with probability q_ref / q_hat[i], where
+  // q_ref is the smallest positive estimate.  Nodes never sampled keep
+  // acceptance 1 (they are effectively unreachable as targets anyway).
+  double q_ref = 1.0;
+  for (const double q : q_hat) {
+    if (q > 0.0) q_ref = std::min(q_ref, q);
+  }
+  acceptance_.assign(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (q_hat[i] > 0.0) acceptance_[i] = std::min(1.0, q_ref / q_hat[i]);
+  }
+}
+
+NodeId GeographicGossip::sample_target(NodeId source) {
+  const auto& region = graph_->region();
+  for (std::uint32_t attempt = 0; attempt <= options_.max_rejections;
+       ++attempt) {
+    const Vec2 target{rng_->uniform(region.lo().x, region.hi().x),
+                      rng_->uniform(region.lo().y, region.hi().y)};
+    const auto route = routing::route_to_position(*graph_, source, target);
+    meter_.add(sim::TxCategory::kLongRange, route.hops);
+    if (!route.arrived()) {
+      ++failed_routes_;
+      continue;
+    }
+    const NodeId candidate = route.final_node;
+    // Self-targets carry no information; treat like a rejection.
+    if (candidate == source) {
+      ++rejections_;
+      continue;
+    }
+    if (!options_.rejection_sampling ||
+        rng_->bernoulli(acceptance_[candidate])) {
+      return candidate;
+    }
+    ++rejections_;
+  }
+  return source;  // exhausted the rejection budget; caller skips the round
+}
+
+void GeographicGossip::on_tick(const sim::Tick& tick) {
+  const NodeId source = tick.node;
+  const NodeId target = sample_target(source);
+  if (target == source) return;
+
+  // Return route: target routes the reply to the sender's (known) position.
+  const auto back = routing::route_to_node(*graph_, target, source);
+  meter_.add(sim::TxCategory::kLongRange, back.hops);
+  if (!back.arrived() || back.final_node != source) {
+    ++failed_routes_;
+    return;  // atomic commit: no state change on a failed round trip
+  }
+
+  const double average = 0.5 * (x_[source] + x_[target]);
+  x_[source] = average;
+  x_[target] = average;
+  ++exchanges_;
+}
+
+}  // namespace geogossip::gossip

@@ -1,0 +1,22 @@
+#include "gossip/pairwise.hpp"
+
+namespace geogossip::gossip {
+
+PairwiseGossip::PairwiseGossip(const graph::GeometricGraph& graph,
+                               std::vector<double> x0, Rng& rng)
+    : ValueProtocol(graph, std::move(x0), rng) {}
+
+void PairwiseGossip::on_tick(const sim::Tick& tick) {
+  const auto neighbors = graph_->neighbors(tick.node);
+  if (neighbors.empty()) {
+    ++isolated_ticks_;
+    return;
+  }
+  const graph::NodeId peer = neighbors[rng_->below(neighbors.size())];
+  const double average = 0.5 * (x_[tick.node] + x_[peer]);
+  x_[tick.node] = average;
+  x_[peer] = average;
+  meter_.add(sim::TxCategory::kLocal, 2);  // value out + value back
+}
+
+}  // namespace geogossip::gossip

@@ -1,0 +1,32 @@
+// Boyd–Ghosh–Prabhakar–Shah randomized nearest-neighbour gossip
+// (INFOCOM 2005) — the location-oblivious baseline.
+//
+// When a sensor's clock ticks it picks a uniformly random neighbour,
+// exchanges values (2 transmissions) and both adopt the average.  On
+// G(n, r) with r = Theta(sqrt(log n / n)) the epsilon-averaging cost is
+// Theta(n * T_mix) = O~(n^2) transmissions — the n^2 row of experiment E5.
+#ifndef GEOGOSSIP_GOSSIP_PAIRWISE_HPP
+#define GEOGOSSIP_GOSSIP_PAIRWISE_HPP
+
+#include "gossip/base.hpp"
+
+namespace geogossip::gossip {
+
+class PairwiseGossip final : public ValueProtocol {
+ public:
+  PairwiseGossip(const graph::GeometricGraph& graph, std::vector<double> x0,
+                 Rng& rng);
+
+  std::string_view name() const override { return "boyd-pairwise"; }
+  void on_tick(const sim::Tick& tick) override;
+
+  /// Ticks at isolated nodes (degree 0) — skipped exchanges.
+  std::uint64_t isolated_ticks() const noexcept { return isolated_ticks_; }
+
+ private:
+  std::uint64_t isolated_ticks_ = 0;
+};
+
+}  // namespace geogossip::gossip
+
+#endif  // GEOGOSSIP_GOSSIP_PAIRWISE_HPP

@@ -1,0 +1,43 @@
+#include "gossip/path_averaging.hpp"
+
+#include "routing/greedy.hpp"
+
+namespace geogossip::gossip {
+
+using geometry::Vec2;
+
+PathAveragingGossip::PathAveragingGossip(const graph::GeometricGraph& graph,
+                                         std::vector<double> x0, Rng& rng)
+    : ValueProtocol(graph, std::move(x0), rng) {}
+
+void PathAveragingGossip::on_tick(const sim::Tick& tick) {
+  const auto& region = graph_->region();
+  const Vec2 target{rng_->uniform(region.lo().x, region.hi().x),
+                    rng_->uniform(region.lo().y, region.hi().y)};
+
+  scratch_path_.clear();
+  routing::RouteOptions options;
+  options.trace = &scratch_path_;
+  const auto route =
+      routing::route_to_position(*graph_, tick.node, target, options);
+  if (!route.arrived() || scratch_path_.size() < 2) return;
+
+  // Gather on the way out, distribute on the way back: 2 * hops.
+  meter_.add(sim::TxCategory::kLongRange, 2ull * route.hops);
+
+  double sum = 0.0;
+  for (const auto node : scratch_path_) sum += x_[node];
+  const double average = sum / static_cast<double>(scratch_path_.size());
+  for (const auto node : scratch_path_) x_[node] = average;
+
+  ++rounds_;
+  total_path_nodes_ += scratch_path_.size();
+}
+
+double PathAveragingGossip::mean_path_length() const noexcept {
+  return rounds_ == 0 ? 0.0
+                      : static_cast<double>(total_path_nodes_) /
+                            static_cast<double>(rounds_);
+}
+
+}  // namespace geogossip::gossip

@@ -1,0 +1,41 @@
+// Geographic gossip with path averaging (Benezit–Dimakis–Thiran–Vetterli) —
+// an extension baseline: every node along the greedy route participates in
+// the average, improving the scaling to O~(n).
+//
+// The paper's "Future Directions" asks for decentralized alternatives with
+// better energy efficiency; path averaging is the best-known decentralized
+// answer, so we include it as the strongest decentralized comparator in the
+// scaling experiment (E5) and the ablation (E10).
+//
+// Cost model: the packet gathers values on the way out (hops transmissions)
+// and distributes the average on the way back along the same path (hops
+// again) — 2 * hops per round.
+#ifndef GEOGOSSIP_GOSSIP_PATH_AVERAGING_HPP
+#define GEOGOSSIP_GOSSIP_PATH_AVERAGING_HPP
+
+#include <vector>
+
+#include "gossip/base.hpp"
+
+namespace geogossip::gossip {
+
+class PathAveragingGossip final : public ValueProtocol {
+ public:
+  PathAveragingGossip(const graph::GeometricGraph& graph,
+                      std::vector<double> x0, Rng& rng);
+
+  std::string_view name() const override { return "path-averaging"; }
+  void on_tick(const sim::Tick& tick) override;
+
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  double mean_path_length() const noexcept;
+
+ private:
+  std::vector<graph::NodeId> scratch_path_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t total_path_nodes_ = 0;
+};
+
+}  // namespace geogossip::gossip
+
+#endif  // GEOGOSSIP_GOSSIP_PATH_AVERAGING_HPP

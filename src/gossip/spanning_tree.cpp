@@ -1,0 +1,83 @@
+#include "gossip/spanning_tree.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace geogossip::gossip {
+
+using graph::NodeId;
+
+SpanningTreeResult spanning_tree_average(const graph::GeometricGraph& graph,
+                                         const std::vector<double>& x0) {
+  GG_CHECK_ARG(x0.size() == graph.node_count(),
+               "x0 size must match the graph");
+  const std::size_t n = graph.node_count();
+
+  SpanningTreeResult result;
+  result.values = x0;
+
+  // BFS tree from the node nearest the region centre.
+  const NodeId root = graph.nearest_node(graph.region().center());
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> parent(n, kUnset);
+  std::vector<std::uint32_t> level(n, 0);
+  std::vector<NodeId> order;  // BFS order: parents precede children
+  order.reserve(n);
+  parent[root] = root;
+  order.push_back(root);
+  std::deque<NodeId> queue{root};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const NodeId u : graph.neighbors(v)) {
+      if (parent[u] != kUnset) continue;
+      parent[u] = v;
+      level[u] = level[v] + 1;
+      result.depth = std::max(result.depth, level[u]);
+      order.push_back(u);
+      queue.push_back(u);
+    }
+  }
+  result.reached = static_cast<std::uint32_t>(order.size());
+  result.complete = order.size() == n;
+
+  // Converge-cast: children before parents (reverse BFS order); every
+  // non-root node sends (partial sum, count) to its parent — 1 tx each.
+  std::vector<double> subtree_sum(n, 0.0);
+  std::vector<std::uint32_t> subtree_count(n, 0);
+  for (const NodeId v : order) {
+    subtree_sum[v] = x0[v];
+    subtree_count[v] = 1;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (v == root) continue;
+    subtree_sum[parent[v]] += subtree_sum[v];
+    subtree_count[parent[v]] += subtree_count[v];
+    result.transmissions.by_category[static_cast<std::size_t>(
+        sim::TxCategory::kLocal)] += 1;
+  }
+  GG_CHECK(subtree_count[root] == order.size(),
+           "converge-cast lost nodes");
+  result.mean =
+      subtree_sum[root] / static_cast<double>(subtree_count[root]);
+
+  // Broadcast: one transmission per informed node (each node hears the
+  // mean once from its parent).
+  for (const NodeId v : order) {
+    result.values[v] = result.mean;
+    if (v != root) {
+      result.transmissions.by_category[static_cast<std::size_t>(
+          sim::TxCategory::kLocal)] += 1;
+    }
+  }
+  return result;
+}
+
+std::uint64_t spanning_tree_floor(std::size_t n) noexcept {
+  return n < 2 ? 0 : 2 * (static_cast<std::uint64_t>(n) - 1);
+}
+
+}  // namespace geogossip::gossip

@@ -1,0 +1,44 @@
+// Centralized spanning-tree aggregation — the 2(n-1)-transmission floor.
+//
+// Not a gossip protocol: a BFS tree rooted near the deployment centre does
+// one converge-cast (every non-root node transmits its subtree's partial
+// sum and count once) and one broadcast of the mean (every non-leaf
+// transmits once, charged as one transmission per informed node).  This is
+// the natural lower-bound reference for experiment E5: every averaging
+// algorithm must spend >= n - 1 transmissions (§1.2: "every node must make
+// at least one transmission"), and the tree achieves Theta(n) — at the
+// price of global coordination, a single point of failure and no
+// robustness, which is the reason the gossip literature exists.
+#ifndef GEOGOSSIP_GOSSIP_SPANNING_TREE_HPP
+#define GEOGOSSIP_GOSSIP_SPANNING_TREE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/geometric_graph.hpp"
+#include "sim/metrics.hpp"
+
+namespace geogossip::gossip {
+
+struct SpanningTreeResult {
+  bool complete = false;       ///< false when the graph is disconnected
+  double mean = 0.0;           ///< exact mean of the reached component
+  std::uint32_t reached = 0;   ///< nodes in the root's component
+  std::uint32_t depth = 0;     ///< tree depth (parallel latency proxy)
+  sim::TxSnapshot transmissions;
+  /// Final values: the mean everywhere reached, untouched elsewhere.
+  std::vector<double> values;
+};
+
+/// Runs the converge-cast + broadcast once.  The root is the node nearest
+/// the deployment-region centre (any fixed rule works; this one matches
+/// the paper's s(square) convention).
+SpanningTreeResult spanning_tree_average(const graph::GeometricGraph& graph,
+                                         const std::vector<double>& x0);
+
+/// The transmission floor the tree attains: 2 (n - 1).
+std::uint64_t spanning_tree_floor(std::size_t n) noexcept;
+
+}  // namespace geogossip::gossip
+
+#endif  // GEOGOSSIP_GOSSIP_SPANNING_TREE_HPP

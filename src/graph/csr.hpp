@@ -1,0 +1,57 @@
+// Compressed-sparse-row adjacency for undirected graphs.
+//
+// All simulation inner loops touch neighbourhoods through this structure:
+// contiguous, cache-friendly, immutable after construction.
+#ifndef GEOGOSSIP_GRAPH_CSR_HPP
+#define GEOGOSSIP_GRAPH_CSR_HPP
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace geogossip::graph {
+
+using NodeId = std::uint32_t;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an undirected edge list (each pair stored once, in either
+  /// order).  Self-loops and duplicate edges are rejected.
+  static CsrGraph from_edges(NodeId node_count,
+                             const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Builds from per-node adjacency lists (must already be symmetric; this
+  /// is validated).
+  static CsrGraph from_adjacency(
+      const std::vector<std::vector<NodeId>>& adjacency);
+
+  std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Number of undirected edges.
+  std::size_t edge_count() const noexcept { return targets_.size() / 2; }
+
+  std::span<const NodeId> neighbors(NodeId node) const;
+  std::size_t degree(NodeId node) const;
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+  std::size_t min_degree() const noexcept;
+  std::size_t max_degree() const noexcept;
+  double mean_degree() const noexcept;
+
+ private:
+  CsrGraph(std::vector<std::uint64_t> offsets, std::vector<NodeId> targets)
+      : offsets_(std::move(offsets)), targets_(std::move(targets)) {}
+
+  // offsets_[v]..offsets_[v+1] indexes targets_; targets sorted per node.
+  std::vector<std::uint64_t> offsets_;
+  std::vector<NodeId> targets_;
+};
+
+}  // namespace geogossip::graph
+
+#endif  // GEOGOSSIP_GRAPH_CSR_HPP

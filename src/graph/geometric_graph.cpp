@@ -1,0 +1,61 @@
+#include "graph/geometric_graph.hpp"
+
+#include <sstream>
+
+#include "geometry/sampling.hpp"
+#include "graph/radius.hpp"
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace geogossip::graph {
+
+GeometricGraph::GeometricGraph(std::vector<geometry::Vec2> points, double r,
+                               const geometry::Rect& region)
+    : points_(std::move(points)), r_(r), region_(region) {
+  GG_CHECK_ARG(!points_.empty(), "GeometricGraph: no points");
+  GG_CHECK_ARG(r > 0.0, "GeometricGraph: radius must be positive");
+  index_ = std::make_unique<geometry::BucketGrid>(points_, region_, r_);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // Expected edge count ~ n * pi r^2 n / 2; reserve the interior estimate.
+  edges.reserve(static_cast<std::size_t>(
+      expected_interior_degree(points_.size(), r_) *
+      static_cast<double>(points_.size()) / 2.0));
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    index_->for_each_within(points_[i], r_, [&](std::uint32_t j) {
+      if (j > i) {
+        edges.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    });
+  }
+  csr_ = CsrGraph::from_edges(static_cast<NodeId>(points_.size()), edges);
+}
+
+GeometricGraph GeometricGraph::sample(std::size_t n, double radius_multiplier,
+                                      Rng& rng) {
+  GG_CHECK_ARG(n >= 2, "GeometricGraph::sample: n >= 2");
+  return GeometricGraph(geometry::sample_unit_square(n, rng),
+                        paper_radius(n, radius_multiplier));
+}
+
+geometry::Vec2 GeometricGraph::position(NodeId node) const {
+  GG_CHECK_ARG(node < points_.size(), "node out of range");
+  return points_[node];
+}
+
+NodeId GeometricGraph::nearest_node(geometry::Vec2 position) const {
+  const auto found = index_->nearest(position);
+  GG_CHECK(found.has_value(), "nearest_node on empty graph");
+  return *found;
+}
+
+std::string GeometricGraph::summary() const {
+  std::ostringstream os;
+  os << "G(n=" << points_.size() << ", r=" << format_fixed(r_, 5)
+     << "): " << csr_.edge_count() << " edges, degree min/mean/max = "
+     << csr_.min_degree() << '/' << format_fixed(csr_.mean_degree(), 1) << '/'
+     << csr_.max_degree();
+  return os.str();
+}
+
+}  // namespace geogossip::graph

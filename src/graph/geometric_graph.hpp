@@ -1,0 +1,65 @@
+// Geometric random graph G(n, r): the paper's network model.
+//
+// GeometricGraph bundles the sampled positions, the connectivity radius and
+// the CSR adjacency, plus the bucket-grid index reused by routing and by the
+// protocols for nearest-node queries.
+#ifndef GEOGOSSIP_GRAPH_GEOMETRIC_GRAPH_HPP
+#define GEOGOSSIP_GRAPH_GEOMETRIC_GRAPH_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/spatial_index.hpp"
+#include "geometry/vec2.hpp"
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip::graph {
+
+class GeometricGraph {
+ public:
+  /// Connects every pair of `points` within distance r (closed ball).
+  /// Points must lie in the closed `region`.
+  GeometricGraph(std::vector<geometry::Vec2> points, double r,
+                 const geometry::Rect& region = geometry::Rect::unit_square());
+
+  /// Samples n i.i.d. uniform points on the unit square and connects at the
+  /// paper's radius multiplier * sqrt(log n / n).
+  static GeometricGraph sample(std::size_t n, double radius_multiplier,
+                               Rng& rng);
+
+  std::size_t node_count() const noexcept { return points_.size(); }
+  double radius() const noexcept { return r_; }
+  const geometry::Rect& region() const noexcept { return region_; }
+  const std::vector<geometry::Vec2>& points() const noexcept {
+    return points_;
+  }
+  geometry::Vec2 position(NodeId node) const;
+
+  const CsrGraph& adjacency() const noexcept { return csr_; }
+  std::span<const NodeId> neighbors(NodeId node) const {
+    return csr_.neighbors(node);
+  }
+  std::size_t degree(NodeId node) const { return csr_.degree(node); }
+
+  /// Bucket-grid index over the node positions (cell size == r).
+  const geometry::BucketGrid& index() const noexcept { return *index_; }
+
+  /// Node nearest an arbitrary position (used by geographic routing).
+  NodeId nearest_node(geometry::Vec2 position) const;
+
+  std::string summary() const;
+
+ private:
+  std::vector<geometry::Vec2> points_;
+  double r_;
+  geometry::Rect region_;
+  std::unique_ptr<geometry::BucketGrid> index_;
+  CsrGraph csr_;
+};
+
+}  // namespace geogossip::graph
+
+#endif  // GEOGOSSIP_GRAPH_GEOMETRIC_GRAPH_HPP

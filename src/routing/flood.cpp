@@ -1,0 +1,41 @@
+#include "routing/flood.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace geogossip::routing {
+
+using graph::NodeId;
+
+FloodResult flood_square(const graph::GeometricGraph& g, NodeId start,
+                         const geometry::Rect& square) {
+  GG_CHECK_ARG(start < g.node_count(), "flood start out of range");
+  GG_CHECK_ARG(square.contains(g.position(start)),
+               "flood start must lie inside the square");
+
+  const auto members = g.index().points_in_rect(square);
+  std::unordered_set<NodeId> member_set(members.begin(), members.end());
+
+  FloodResult result;
+  std::unordered_set<NodeId> visited{start};
+  std::deque<NodeId> queue{start};
+  result.reached.push_back(start);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    ++result.transmissions;  // v rebroadcasts once
+    for (const NodeId u : g.neighbors(v)) {
+      if (!member_set.contains(u) || visited.contains(u)) continue;
+      visited.insert(u);
+      result.reached.push_back(u);
+      queue.push_back(u);
+    }
+  }
+  result.unreached_members =
+      static_cast<std::uint32_t>(members.size() - visited.size());
+  return result;
+}
+
+}  // namespace geogossip::routing

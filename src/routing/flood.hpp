@@ -1,0 +1,36 @@
+// Restricted flooding inside a square region.
+//
+// Activate.square / Deactivate.square at Level 1 "send packets to each node
+// in the square by flooding" (paper §4.2).  We model flooding as a BFS over
+// the connectivity graph restricted to nodes inside the square: every
+// reached node rebroadcasts once, so the transmission cost equals the number
+// of reached nodes (the initiator included).
+#ifndef GEOGOSSIP_ROUTING_FLOOD_HPP
+#define GEOGOSSIP_ROUTING_FLOOD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "graph/geometric_graph.hpp"
+
+namespace geogossip::routing {
+
+struct FloodResult {
+  /// Nodes reached, in BFS order; front() == start.
+  std::vector<graph::NodeId> reached;
+  /// Transmission count (every reached node broadcasts once).
+  std::uint32_t transmissions = 0;
+  /// Members of the square the flood failed to reach (restricted-graph
+  /// disconnection — possible at small occupancy; callers decide policy).
+  std::uint32_t unreached_members = 0;
+};
+
+/// Floods from `start` through edges whose both endpoints lie inside
+/// `square` (half-open).  `start` must itself be inside the square.
+FloodResult flood_square(const graph::GeometricGraph& g, graph::NodeId start,
+                         const geometry::Rect& square);
+
+}  // namespace geogossip::routing
+
+#endif  // GEOGOSSIP_ROUTING_FLOOD_HPP

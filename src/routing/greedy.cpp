@@ -1,0 +1,105 @@
+#include "routing/greedy.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace geogossip::routing {
+
+using geometry::Vec2;
+using geometry::distance_sq;
+using graph::GeometricGraph;
+using graph::NodeId;
+
+std::uint32_t default_hop_budget(const GeometricGraph& g) {
+  const double diagonal = std::sqrt(g.region().width() * g.region().width() +
+                                    g.region().height() * g.region().height());
+  return 4 * static_cast<std::uint32_t>(std::ceil(diagonal / g.radius())) + 16;
+}
+
+namespace {
+
+/// Single greedy step: strictly closer neighbour to `target`, or nullopt.
+std::optional<NodeId> greedy_step(const GeometricGraph& g, NodeId current,
+                                  Vec2 target) {
+  const double here_sq = distance_sq(g.position(current), target);
+  double best_sq = here_sq;
+  std::optional<NodeId> best;
+  for (const NodeId u : g.neighbors(current)) {
+    const double d_sq = distance_sq(g.position(u), target);
+    if (d_sq < best_sq) {
+      best_sq = d_sq;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RouteResult route_to_node(const GeometricGraph& g, NodeId source,
+                          NodeId destination, const RouteOptions& options) {
+  GG_CHECK_ARG(source < g.node_count() && destination < g.node_count(),
+               "route endpoints out of range");
+  const std::uint32_t budget =
+      options.max_hops != 0 ? options.max_hops : default_hop_budget(g);
+  const Vec2 target = g.position(destination);
+
+  RouteResult result;
+  result.final_node = source;
+  if (options.trace != nullptr) options.trace->push_back(source);
+
+  NodeId current = source;
+  while (current != destination) {
+    if (result.hops >= budget) {
+      result.status = RouteStatus::kHopBudget;
+      result.final_node = current;
+      return result;
+    }
+    const auto next = greedy_step(g, current, target);
+    if (!next.has_value()) {
+      result.status = RouteStatus::kDeadEnd;
+      result.final_node = current;
+      return result;
+    }
+    current = *next;
+    ++result.hops;
+    if (options.trace != nullptr) options.trace->push_back(current);
+  }
+  result.status = RouteStatus::kArrived;
+  result.final_node = current;
+  return result;
+}
+
+RouteResult route_to_position(const GeometricGraph& g, NodeId source,
+                              Vec2 target, const RouteOptions& options) {
+  GG_CHECK_ARG(source < g.node_count(), "route source out of range");
+  const std::uint32_t budget =
+      options.max_hops != 0 ? options.max_hops : default_hop_budget(g);
+
+  RouteResult result;
+  result.final_node = source;
+  if (options.trace != nullptr) options.trace->push_back(source);
+
+  NodeId current = source;
+  while (true) {
+    const auto next = greedy_step(g, current, target);
+    if (!next.has_value()) {
+      // Local minimum w.r.t. the target position: this IS the destination
+      // for position-targeted routing.
+      result.status = RouteStatus::kArrived;
+      result.final_node = current;
+      return result;
+    }
+    if (result.hops >= budget) {
+      result.status = RouteStatus::kHopBudget;
+      result.final_node = current;
+      return result;
+    }
+    current = *next;
+    ++result.hops;
+    if (options.trace != nullptr) options.trace->push_back(current);
+  }
+}
+
+}  // namespace geogossip::routing

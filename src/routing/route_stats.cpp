@@ -1,0 +1,66 @@
+#include "routing/route_stats.hpp"
+
+#include "geometry/vec2.hpp"
+#include "routing/greedy.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::routing {
+
+using geometry::Vec2;
+using graph::NodeId;
+
+namespace {
+
+void accumulate(RouteCampaignResult& out, const RouteResult& route,
+                double euclidean, double radius) {
+  ++out.attempted;
+  switch (route.status) {
+    case RouteStatus::kArrived:
+      ++out.delivered;
+      out.hops.push(static_cast<double>(route.hops));
+      if (euclidean > radius) {
+        out.stretch.push(static_cast<double>(route.hops) /
+                         (euclidean / radius));
+      }
+      return;
+    case RouteStatus::kDeadEnd:
+      ++out.dead_ends;
+      return;
+    case RouteStatus::kHopBudget:
+      ++out.budget_exceeded;
+      return;
+  }
+}
+
+}  // namespace
+
+RouteCampaignResult measure_routes(const graph::GeometricGraph& g,
+                                   std::uint64_t pairs, Rng& rng) {
+  GG_CHECK_ARG(g.node_count() >= 2, "measure_routes: need >= 2 nodes");
+  RouteCampaignResult out;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const auto src = static_cast<NodeId>(rng.below(g.node_count()));
+    const auto dst = static_cast<NodeId>(
+        rng.below_excluding(g.node_count(), src));
+    const RouteResult route = route_to_node(g, src, dst);
+    accumulate(out, route, distance(g.position(src), g.position(dst)),
+               g.radius());
+  }
+  return out;
+}
+
+RouteCampaignResult measure_position_routes(const graph::GeometricGraph& g,
+                                            std::uint64_t pairs, Rng& rng) {
+  GG_CHECK_ARG(g.node_count() >= 2, "measure_position_routes: need >= 2 nodes");
+  RouteCampaignResult out;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const auto src = static_cast<NodeId>(rng.below(g.node_count()));
+    const Vec2 target{rng.uniform(g.region().lo().x, g.region().hi().x),
+                      rng.uniform(g.region().lo().y, g.region().hi().y)};
+    const RouteResult route = route_to_position(g, src, target);
+    accumulate(out, route, distance(g.position(src), target), g.radius());
+  }
+  return out;
+}
+
+}  // namespace geogossip::routing

@@ -1,0 +1,20 @@
+#include "sim/clock.hpp"
+
+#include "support/check.hpp"
+
+namespace geogossip::sim {
+
+AsyncClock::AsyncClock(std::uint32_t n, Rng& rng) : n_(n), rng_(&rng) {
+  GG_CHECK_ARG(n >= 1, "AsyncClock: need at least one node");
+}
+
+Tick AsyncClock::next() {
+  now_ += rng_->exponential(static_cast<double>(n_));
+  Tick tick;
+  tick.node = static_cast<std::uint32_t>(rng_->below(n_));
+  tick.time = now_;
+  tick.index = ticks_++;
+  return tick;
+}
+
+}  // namespace geogossip::sim

@@ -1,0 +1,89 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace geogossip::sim {
+
+double deviation_norm(std::span<const double> values) {
+  GG_CHECK_ARG(!values.empty(), "deviation_norm: empty span");
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double accum = 0.0;
+  for (const double v : values) accum += (v - mean) * (v - mean);
+  return std::sqrt(accum);
+}
+
+double relative_error(std::span<const double> values, double initial_norm) {
+  GG_CHECK_ARG(initial_norm > 0.0, "relative_error: initial norm must be > 0");
+  return deviation_norm(values) / initial_norm;
+}
+
+std::string RunResult::to_string() const {
+  std::ostringstream os;
+  os << (converged ? "converged" : "NOT converged") << " after "
+     << format_count(ticks) << " ticks, err=" << format_sci(final_error, 2)
+     << ", tx: " << transmissions.to_string();
+  return os.str();
+}
+
+RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
+                         const RunConfig& config) {
+  GG_CHECK_ARG(config.epsilon > 0.0, "run_to_epsilon: epsilon > 0");
+  GG_CHECK_ARG(config.max_ticks > 0, "run_to_epsilon: max_ticks must be set");
+
+  const auto values = protocol.values();
+  const auto n = static_cast<std::uint32_t>(values.size());
+  GG_CHECK_ARG(n >= 1, "run_to_epsilon: protocol has no values");
+
+  const double initial_norm = deviation_norm(values);
+  RunResult result;
+  if (initial_norm == 0.0) {
+    // Already exactly averaged (constant field); nothing to do.
+    result.converged = true;
+    result.final_error = 0.0;
+    result.transmissions = protocol.meter().snapshot();
+    return result;
+  }
+
+  const std::uint64_t check_every =
+      config.check_interval != 0 ? config.check_interval : n;
+  AsyncClock clock(n, rng);
+
+  while (clock.ticks_elapsed() < config.max_ticks) {
+    const Tick tick = clock.next();
+    protocol.on_tick(tick);
+
+    const bool checkpoint = (tick.index + 1) % check_every == 0;
+    const bool trace_point =
+        config.trace_interval != 0 &&
+        (tick.index + 1) % config.trace_interval == 0;
+    if (!checkpoint && !trace_point) continue;
+
+    const double err = relative_error(protocol.values(), initial_norm);
+    if (trace_point) {
+      result.trace.emplace_back(protocol.meter().total(), err);
+    }
+    if (checkpoint && err <= config.epsilon) {
+      result.converged = true;
+      result.ticks = clock.ticks_elapsed();
+      result.model_time = clock.now();
+      result.final_error = err;
+      result.transmissions = protocol.meter().snapshot();
+      return result;
+    }
+  }
+
+  result.converged = false;
+  result.ticks = clock.ticks_elapsed();
+  result.model_time = clock.now();
+  result.final_error = relative_error(protocol.values(), initial_norm);
+  result.transmissions = protocol.meter().snapshot();
+  return result;
+}
+
+}  // namespace geogossip::sim

@@ -1,0 +1,74 @@
+// Asynchronous gossip engine: drives any protocol tick-by-tick until the
+// epsilon-averaging criterion (DESIGN.md §6) is met.
+#ifndef GEOGOSSIP_SIM_ENGINE_HPP
+#define GEOGOSSIP_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/metrics.hpp"
+
+namespace geogossip::sim {
+
+/// Interface every averaging protocol implements.  The engine owns the
+/// clock; the protocol owns values and transmission accounting.
+class GossipProtocol {
+ public:
+  virtual ~GossipProtocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Handles one clock tick belonging to `tick.node`.
+  virtual void on_tick(const Tick& tick) = 0;
+
+  /// Current per-node values.
+  virtual std::span<const double> values() const = 0;
+
+  virtual const TxMeter& meter() const = 0;
+};
+
+struct RunConfig {
+  /// Convergence target: ||x(t) - mean|| <= epsilon * ||x(0) - mean||.
+  double epsilon = 1e-3;
+  /// Hard tick budget (0 = 10^7 * n heuristic is NOT applied; treat 0 as
+  /// "caller must set" and checked).
+  std::uint64_t max_ticks = 0;
+  /// Convergence is tested every `check_interval` ticks (0 = node count).
+  std::uint64_t check_interval = 0;
+  /// When > 0, (transmissions, error) samples are recorded every
+  /// `trace_interval` ticks into RunResult::trace.
+  std::uint64_t trace_interval = 0;
+};
+
+struct RunResult {
+  bool converged = false;
+  std::uint64_t ticks = 0;
+  double model_time = 0.0;
+  /// ||x(end) - mean|| / ||x(0) - mean||.
+  double final_error = 1.0;
+  TxSnapshot transmissions;
+  /// (total transmissions, relative error) samples, if tracing was enabled.
+  std::vector<std::pair<std::uint64_t, double>> trace;
+
+  std::string to_string() const;
+};
+
+/// Relative deviation ||x - mean(x)|| / scale (scale > 0).
+double relative_error(std::span<const double> values, double initial_norm);
+
+/// ||x - mean(x)||_2.
+double deviation_norm(std::span<const double> values);
+
+/// Runs `protocol` on a fresh AsyncClock(n, rng) until convergence or the
+/// tick budget.  Requires config.max_ticks > 0.
+RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
+                         const RunConfig& config);
+
+}  // namespace geogossip::sim
+
+#endif  // GEOGOSSIP_SIM_ENGINE_HPP

@@ -1,0 +1,39 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+#include "support/string_util.hpp"
+
+namespace geogossip::sim {
+
+std::string_view tx_category_name(TxCategory category) noexcept {
+  switch (category) {
+    case TxCategory::kLocal:
+      return "local";
+    case TxCategory::kLongRange:
+      return "long-range";
+    case TxCategory::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+TxSnapshot TxSnapshot::operator-(const TxSnapshot& other) const noexcept {
+  TxSnapshot out;
+  for (std::size_t i = 0; i < kTxCategoryCount; ++i) {
+    out.by_category[i] = by_category[i] - other.by_category[i];
+  }
+  return out;
+}
+
+std::string TxSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "total=" << format_count(total());
+  for (std::size_t i = 0; i < kTxCategoryCount; ++i) {
+    os << ' ' << tx_category_name(static_cast<TxCategory>(i)) << '='
+       << format_count(by_category[i]);
+  }
+  return os.str();
+}
+
+}  // namespace geogossip::sim

@@ -1,0 +1,53 @@
+#include "stats/chernoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace geogossip::stats {
+
+double chernoff_upper_tail(double mu, double delta) {
+  GG_CHECK_ARG(mu > 0.0, "chernoff_upper_tail: mu must be positive");
+  GG_CHECK_ARG(delta > 0.0, "chernoff_upper_tail: delta must be positive");
+  return std::exp(-delta * delta * mu / (2.0 + delta));
+}
+
+double chernoff_lower_tail(double mu, double delta) {
+  GG_CHECK_ARG(mu > 0.0, "chernoff_lower_tail: mu must be positive");
+  GG_CHECK_ARG(delta > 0.0 && delta <= 1.0,
+               "chernoff_lower_tail: delta must be in (0,1]");
+  return std::exp(-delta * delta * mu / 2.0);
+}
+
+double chernoff_two_sided(double mu, double delta) {
+  return std::min(1.0, chernoff_upper_tail(mu, delta) +
+                           chernoff_lower_tail(mu, delta));
+}
+
+double occupancy_deviation_bound(double mu, double delta, std::size_t cells) {
+  GG_CHECK_ARG(cells >= 1, "occupancy_deviation_bound: need >= 1 cell");
+  return std::min(1.0, static_cast<double>(cells) *
+                           chernoff_two_sided(mu, delta));
+}
+
+double required_mean_for_occupancy(double delta, std::size_t cells,
+                                   double failure_prob) {
+  GG_CHECK_ARG(failure_prob > 0.0 && failure_prob < 1.0,
+               "required_mean_for_occupancy: failure_prob in (0,1)");
+  // Monotone in mu; bisect on [1, 1e12].
+  double lo = 1.0;
+  double hi = 1e12;
+  if (occupancy_deviation_bound(lo, delta, cells) <= failure_prob) return lo;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (occupancy_deviation_bound(mid, delta, cells) <= failure_prob) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace geogossip::stats

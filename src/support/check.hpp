@@ -1,0 +1,64 @@
+// Runtime checking utilities.
+//
+// The library follows a "wide contracts throw, narrow contracts assert"
+// policy: user-facing entry points validate their arguments with GG_CHECK_ARG
+// (always on, throws geogossip::ArgumentError), while internal invariants use
+// GG_CHECK (always on, throws geogossip::CheckError).  Both carry the failing
+// expression and source location so test failures are self-describing.
+#ifndef GEOGOSSIP_SUPPORT_CHECK_HPP
+#define GEOGOSSIP_SUPPORT_CHECK_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace geogossip {
+
+/// Thrown when an internal invariant of the library is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a caller passes an argument outside a function's contract.
+class ArgumentError : public std::invalid_argument {
+ public:
+  explicit ArgumentError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind,
+                                             const char* expr,
+                                             const char* file, int line,
+                                             const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  if (std::string(kind) == "GG_CHECK_ARG") throw ArgumentError(os.str());
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace geogossip
+
+/// Internal invariant; always evaluated.  Throws geogossip::CheckError.
+#define GG_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::geogossip::detail::throw_check_failure("GG_CHECK", #cond, __FILE__,  \
+                                               __LINE__, (msg));             \
+    }                                                                        \
+  } while (false)
+
+/// Argument validation; always evaluated.  Throws geogossip::ArgumentError.
+#define GG_CHECK_ARG(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::geogossip::detail::throw_check_failure("GG_CHECK_ARG", #cond,        \
+                                               __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (false)
+
+#endif  // GEOGOSSIP_SUPPORT_CHECK_HPP

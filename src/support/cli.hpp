@@ -1,0 +1,65 @@
+// Tiny declarative command-line flag parser used by examples and benches.
+//
+// Supports --name=value and --name value forms, bool flags without a value
+// ("--verbose"), automatic --help text, and strict rejection of unknown
+// flags so typos in sweep scripts fail loudly.
+#ifndef GEOGOSSIP_SUPPORT_CLI_HPP
+#define GEOGOSSIP_SUPPORT_CLI_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace geogossip {
+
+class ArgParser {
+ public:
+  /// `program` and `summary` appear in the --help output.
+  ArgParser(std::string program, std::string summary);
+
+  /// Registers a flag; the pointer must outlive parse().  The current value
+  /// of the target is taken as the documented default.
+  void add_flag(const std::string& name, std::int64_t* target,
+                const std::string& help);
+  void add_flag(const std::string& name, double* target,
+                const std::string& help);
+  void add_flag(const std::string& name, std::string* target,
+                const std::string& help);
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+
+  /// Parses argv.  Returns false if --help was requested (help text already
+  /// printed); throws ArgumentError on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Positional arguments remaining after flag extraction.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_text;
+  };
+
+  const Flag* find(const std::string& name) const noexcept;
+  void assign(const Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace geogossip
+
+#endif  // GEOGOSSIP_SUPPORT_CLI_HPP

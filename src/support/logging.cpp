@@ -1,0 +1,42 @@
+#include "support/logging.hpp"
+
+#include <iostream>
+
+namespace geogossip {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = &std::cerr;
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel LogConfig::level() noexcept { return g_level; }
+void LogConfig::set_level(LogLevel level) noexcept { g_level = level; }
+std::ostream& LogConfig::sink() noexcept { return *g_sink; }
+void LogConfig::set_sink(std::ostream& sink) noexcept { g_sink = &sink; }
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  LogConfig::sink() << '[' << log_level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace geogossip

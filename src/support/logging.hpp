@@ -1,0 +1,67 @@
+// Minimal leveled logger for library diagnostics.
+//
+// Experiments and examples log at Info; inner loops never log.  The logger is
+// deliberately tiny: a process-wide level, an ostream sink (default stderr),
+// and variadic helpers that stringify via operator<<.
+#ifndef GEOGOSSIP_SUPPORT_LOGGING_HPP
+#define GEOGOSSIP_SUPPORT_LOGGING_HPP
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace geogossip {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the human-readable name of a level ("DEBUG", "INFO", ...).
+std::string_view log_level_name(LogLevel level) noexcept;
+
+/// Process-wide log configuration.  Not thread-safe by design: the library's
+/// simulations are single-threaded, and configuration happens in main().
+class LogConfig {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+  static std::ostream& sink() noexcept;
+  static void set_sink(std::ostream& sink) noexcept;
+};
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message);
+
+template <typename... Args>
+void log_at(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) < static_cast<int>(LogConfig::level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  emit_log(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_at(LogLevel::kDebug, args...);
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_at(LogLevel::kInfo, args...);
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_at(LogLevel::kWarn, args...);
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_at(LogLevel::kError, args...);
+}
+
+}  // namespace geogossip
+
+#endif  // GEOGOSSIP_SUPPORT_LOGGING_HPP

@@ -1,0 +1,167 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace geogossip {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)),
+      aligns_(columns_.size(), Align::kRight) {
+  GG_CHECK_ARG(!columns_.empty(), "ConsoleTable needs at least one column");
+}
+
+void ConsoleTable::set_alignment(std::size_t column, Align align) {
+  GG_CHECK_ARG(column < aligns_.size(), "set_alignment: column out of range");
+  aligns_[column] = align;
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  GG_CHECK_ARG(cells.size() == columns_.size(),
+               "row width does not match column count");
+  rows_.push_back(std::move(cells));
+}
+
+ConsoleTable& ConsoleTable::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::cell(double value, int decimals) {
+  pending_.push_back(format_fixed(value, decimals));
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::cell(std::int64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::cell(std::uint64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+void ConsoleTable::end_row() {
+  add_row(std::move(pending_));
+  pending_.clear();
+}
+
+void ConsoleTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cells[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != cells.size()) {
+        out << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string ConsoleTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+AsciiChart::AsciiChart() : AsciiChart(Options{}) {}
+
+AsciiChart::AsciiChart(Options options) : options_(options) {
+  GG_CHECK_ARG(options_.width >= 16 && options_.height >= 4,
+               "AsciiChart: canvas too small");
+}
+
+void AsciiChart::add_series(const std::string& name, char marker,
+                            const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  GG_CHECK_ARG(xs.size() == ys.size(), "AsciiChart: xs/ys size mismatch");
+  series_.push_back(Series{name, marker, xs, ys});
+}
+
+void AsciiChart::print(std::ostream& out) const {
+  const auto transform = [](double v, bool log_scale) {
+    return log_scale ? std::log10(std::max(v, 1e-300)) : v;
+  };
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double tx = transform(s.xs[i], options_.log_x);
+      const double ty = transform(s.ys[i], options_.log_y);
+      if (!std::isfinite(tx) || !std::isfinite(ty)) continue;
+      any = true;
+      min_x = std::min(min_x, tx);
+      max_x = std::max(max_x, tx);
+      min_y = std::min(min_y, ty);
+      max_y = std::max(max_y, ty);
+    }
+  }
+  if (!any) {
+    out << "(empty chart)\n";
+    return;
+  }
+  if (max_x == min_x) max_x = min_x + 1;
+  if (max_y == min_y) max_y = min_y + 1;
+
+  const int w = options_.width;
+  const int h = options_.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double tx = transform(s.xs[i], options_.log_x);
+      const double ty = transform(s.ys[i], options_.log_y);
+      if (!std::isfinite(tx) || !std::isfinite(ty)) continue;
+      const int col = static_cast<int>(
+          std::lround((tx - min_x) / (max_x - min_x) * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((ty - min_y) / (max_y - min_y) * (h - 1)));
+      canvas[static_cast<std::size_t>(h - 1 - row)]
+            [static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  const auto fmt_axis = [&](double v, bool log_scale) {
+    return log_scale ? "1e" + format_fixed(v, 1) : format_sci(v, 1);
+  };
+  out << "  y_max = " << fmt_axis(max_y, options_.log_y) << '\n';
+  for (const auto& line : canvas) out << "  |" << line << '\n';
+  out << "  +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  out << "  y_min = " << fmt_axis(min_y, options_.log_y)
+      << "   x: " << fmt_axis(min_x, options_.log_x) << " .. "
+      << fmt_axis(max_x, options_.log_x) << '\n';
+  for (const auto& s : series_) {
+    out << "  [" << s.marker << "] " << s.name << '\n';
+  }
+}
+
+}  // namespace geogossip

@@ -1,0 +1,190 @@
+// Tests for the faithful §4.2 asynchronous state machine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/hierarchy_protocol.hpp"
+#include "gossip/pairwise.hpp"
+#include "graph/geometric_graph.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/field.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip::core {
+namespace {
+
+using graph::GeometricGraph;
+
+GeometricGraph make_graph(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return GeometricGraph::sample(n, 2.0, rng);
+}
+
+std::vector<double> make_field(const GeometricGraph& g, Rng& rng) {
+  auto x0 = sim::gaussian_field(g.node_count(), rng);
+  sim::center_and_normalize(x0);
+  return x0;
+}
+
+TEST(AsyncProtocol, ConvergesOnSmallDeployment) {
+  const auto g = make_graph(512, 700);
+  Rng rng(701);
+  auto x0 = make_field(g, rng);
+
+  HierarchyProtocolConfig config;
+  config.eps = 3e-2;
+  HierarchicalAffineProtocol protocol(g, x0, rng, config);
+
+  sim::RunConfig run;
+  run.epsilon = 3e-2;
+  run.max_ticks = 60'000'000;
+  const auto result = sim::run_to_epsilon(protocol, rng, run);
+  EXPECT_TRUE(result.converged) << result.to_string();
+  EXPECT_GT(protocol.far_exchanges(), 0u);
+  EXPECT_GT(protocol.near_exchanges(), 0u);
+  EXPECT_GT(protocol.activations(), 0u);
+}
+
+TEST(AsyncProtocol, ConservesSum) {
+  const auto g = make_graph(512, 702);
+  Rng rng(703);
+  auto x0 = make_field(g, rng);
+  const double sum0 = std::accumulate(x0.begin(), x0.end(), 0.0);
+
+  HierarchyProtocolConfig config;
+  config.eps = 1e-1;
+  HierarchicalAffineProtocol protocol(g, x0, rng, config);
+  sim::AsyncClock clock(static_cast<std::uint32_t>(g.node_count()), rng);
+  for (int i = 0; i < 2'000'000; ++i) protocol.on_tick(clock.next());
+  EXPECT_NEAR(protocol.value_sum(), sum0, 1e-7);
+}
+
+TEST(AsyncProtocol, ChargesAllCategories) {
+  const auto g = make_graph(512, 704);
+  Rng rng(705);
+  auto x0 = make_field(g, rng);
+  HierarchyProtocolConfig config;
+  config.eps = 5e-2;
+  HierarchicalAffineProtocol protocol(g, x0, rng, config);
+  sim::AsyncClock clock(static_cast<std::uint32_t>(g.node_count()), rng);
+  for (int i = 0; i < 2'000'000; ++i) protocol.on_tick(clock.next());
+  const auto snapshot = protocol.meter().snapshot();
+  EXPECT_GT(snapshot[sim::TxCategory::kLocal], 0u);
+  EXPECT_GT(snapshot[sim::TxCategory::kLongRange], 0u);
+  EXPECT_GT(snapshot[sim::TxCategory::kControl], 0u);
+}
+
+TEST(AsyncProtocol, BudgetsGrowTowardsTheRoot) {
+  const auto g = make_graph(1024, 706);
+  Rng rng(707);
+  HierarchyProtocolConfig config;
+  HierarchicalAffineProtocol protocol(
+      g, std::vector<double>(g.node_count(), 0.0), rng, config);
+  const auto& h = protocol.hierarchy();
+  // The root's averaging latency dominates any leaf's.
+  double max_leaf = 0.0;
+  for (const int leaf : h.leaves()) {
+    max_leaf = std::max(max_leaf, protocol.averaging_time(leaf));
+  }
+  EXPECT_GT(protocol.averaging_time(h.root()), max_leaf);
+}
+
+TEST(AsyncProtocol, SeparationPropertyHolds) {
+  // Control separation: Far events are much rarer than Near events — the
+  // practical analogue of the paper's n^(-a) rate suppression.
+  const auto g = make_graph(512, 708);
+  Rng rng(709);
+  auto x0 = make_field(g, rng);
+  HierarchyProtocolConfig config;
+  config.eps = 5e-2;
+  HierarchicalAffineProtocol protocol(g, x0, rng, config);
+  sim::AsyncClock clock(static_cast<std::uint32_t>(g.node_count()), rng);
+  for (int i = 0; i < 1'000'000; ++i) protocol.on_tick(clock.next());
+  ASSERT_GT(protocol.far_exchanges(), 0u);
+  EXPECT_GT(protocol.near_exchanges(), 10 * protocol.far_exchanges());
+}
+
+TEST(AsyncProtocol, NothingHappensWhenNothingIsActive) {
+  // Before the root representative's first tick, every other node is off:
+  // their ticks must be free (no transmissions).
+  const auto g = make_graph(256, 710);
+  Rng rng(711);
+  auto x0 = make_field(g, rng);
+  HierarchyProtocolConfig config;
+  HierarchicalAffineProtocol protocol(g, x0, rng, config);
+  const auto& h = protocol.hierarchy();
+  const auto root_rep = static_cast<std::uint32_t>(
+      h.square(h.root()).representative);
+  sim::Tick tick;
+  for (std::uint32_t node = 0; node < g.node_count(); ++node) {
+    if (node == root_rep) continue;
+    tick.node = node;
+    protocol.on_tick(tick);
+  }
+  EXPECT_EQ(protocol.meter().total(), 0u);
+  EXPECT_EQ(protocol.near_exchanges(), 0u);
+}
+
+TEST(AsyncProtocol, RootTickActivatesChildren) {
+  const auto g = make_graph(256, 712);
+  Rng rng(713);
+  auto x0 = make_field(g, rng);
+  HierarchyProtocolConfig config;
+  HierarchicalAffineProtocol protocol(g, x0, rng, config);
+  const auto& h = protocol.hierarchy();
+  sim::Tick tick;
+  tick.node = static_cast<std::uint32_t>(h.square(h.root()).representative);
+  protocol.on_tick(tick);
+  EXPECT_GE(protocol.activations(), 1u);
+  EXPECT_GT(protocol.meter().snapshot()[sim::TxCategory::kControl], 0u);
+}
+
+TEST(AsyncProtocol, GrowsSubquadraticallyInN) {
+  // The async machine's constants are large at small n (its control budgets
+  // include the latency_factor stand-in for n^a), so it does not beat the
+  // baselines in absolute terms at test scale — but its transmissions must
+  // grow with an exponent well below Boyd's ~2: quadrupling n should cost
+  // far less than 16x.
+  const auto total_at = [](std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    auto g = GeometricGraph::sample(n, 2.0, rng);
+    auto x0 = sim::gaussian_field(n, rng);
+    sim::center_and_normalize(x0);
+    HierarchyProtocolConfig config;
+    config.eps = 5e-2;
+    // Keep both sizes at hierarchy depth 2 so the comparison measures
+    // scaling rather than a structural level change.
+    config.leaf_threshold = 64.0;
+    HierarchicalAffineProtocol protocol(g, x0, rng, config);
+    sim::RunConfig run;
+    run.epsilon = 5e-2;
+    run.max_ticks = 300'000'000;
+    const auto result = sim::run_to_epsilon(protocol, rng, run);
+    EXPECT_TRUE(result.converged) << "n=" << n << " " << result.to_string();
+    return static_cast<double>(result.transmissions.total());
+  };
+  const double small = total_at(512, 714);
+  const double large = total_at(2048, 715);
+  EXPECT_LT(large / small, 12.0);  // quadratic scaling would give ~16x
+  EXPECT_GT(large, small);         // and it is not free either
+}
+
+TEST(AsyncProtocol, Validation) {
+  const auto g = make_graph(64, 717);
+  Rng rng(718);
+  HierarchyProtocolConfig config;
+  config.eps = 0.0;
+  EXPECT_THROW(HierarchicalAffineProtocol(
+                   g, std::vector<double>(g.node_count(), 0.0), rng, config),
+               ArgumentError);
+  config.eps = 1e-2;
+  config.latency_factor = 0.5;
+  EXPECT_THROW(HierarchicalAffineProtocol(
+                   g, std::vector<double>(g.node_count(), 0.0), rng, config),
+               ArgumentError);
+}
+
+}  // namespace
+}  // namespace geogossip::core

@@ -1,0 +1,213 @@
+// Tests for the level profile, the literal paper schedule and the practical
+// schedule, plus the closed-form transmission predictions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/round_protocol.hpp"
+#include "core/schedule.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::core {
+namespace {
+
+// ---------------------------------------------------------- LevelProfile ----
+
+TEST(LevelProfile, FollowsPaperFanOutRule) {
+  // n = 1e6: root fan-out = nearest even square of sqrt(1e6) = 1024.
+  const auto profile = compute_level_profile(1'000'000, 48.0);
+  ASSERT_GE(profile.size(), 3u);
+  EXPECT_EQ(profile[0].depth, 0);
+  EXPECT_DOUBLE_EQ(profile[0].expected_occupancy, 1e6);
+  EXPECT_EQ(profile[0].fan_out, 1024);
+  EXPECT_NEAR(profile[1].expected_occupancy, 1e6 / 1024.0, 1e-9);
+  // Depth grows ~ log log n: for n = 1e6 expect 3-4 levels, not 10.
+  EXPECT_LE(profile.size(), 5u);
+  // The last level is a leaf.
+  EXPECT_EQ(profile.back().fan_out, 0);
+  EXPECT_LE(profile.back().expected_occupancy, 48.0);
+}
+
+TEST(LevelProfile, SmallNIsLeafOnly) {
+  const auto profile = compute_level_profile(30, 48.0);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_EQ(profile[0].fan_out, 0);
+}
+
+TEST(LevelProfile, DepthCapIsRespected) {
+  const auto profile = compute_level_profile(1'000'000, 2.0, 2);
+  EXPECT_LE(profile.size(), 3u);  // depths 0, 1, 2
+}
+
+TEST(LevelProfile, DepthGrowsVerySlowlyWithN) {
+  const auto d1 = compute_level_profile(1u << 12, 32.0).size();
+  const auto d2 = compute_level_profile(1u << 24, 32.0).size();
+  EXPECT_LE(d2, d1 + 2);  // doubling the exponent adds O(1) levels
+}
+
+// --------------------------------------------------------- PaperSchedule ----
+
+TEST(PaperSchedule, EpsAndDeltaShrinkAsSpecified) {
+  const auto profile = compute_level_profile(100'000, 48.0);
+  const auto schedule = make_paper_schedule(100'000, 1e-3, 1e-2, 1.0, profile);
+  ASSERT_EQ(schedule.eps.size(), profile.size());
+  for (std::size_t r = 1; r < schedule.eps.size(); ++r) {
+    // eps_{r} = eps_{r-1} / (25 n^{4.5}) for a=1; the quantities span
+    // hundreds of orders of magnitude, so compare in log10.
+    const double log_ratio =
+        std::log10(schedule.eps[r - 1]) - std::log10(schedule.eps[r]);
+    EXPECT_NEAR(log_ratio, std::log10(25.0) + 4.5 * 5.0, 1e-6);
+    // delta_{r+1} = delta_r / n^(2 a r): the r = 0 step is the identity
+    // (n^0), so delta_1 == delta_0; it shrinks strictly afterwards.
+    if (r == 1) {
+      EXPECT_DOUBLE_EQ(schedule.delta[r], schedule.delta[r - 1]);
+    } else {
+      EXPECT_LT(schedule.delta[r], schedule.delta[r - 1]);
+    }
+  }
+}
+
+TEST(PaperSchedule, TimeBudgetsGrowTowardsTheRoot) {
+  const auto profile = compute_level_profile(1'000'000, 48.0);
+  const auto schedule =
+      make_paper_schedule(1'000'000, 1e-3, 1e-2, 1.0, profile);
+  for (std::size_t r = 1; r < schedule.log10_time.size(); ++r) {
+    EXPECT_GT(schedule.log10_time[r - 1], schedule.log10_time[r]);
+  }
+  // The literal budgets are astronomic — that is the point of reporting
+  // them (and of the practical substitution).
+  EXPECT_GT(schedule.log10_time[0], 20.0);
+  EXPECT_NE(schedule.to_string().find("depth 0"), std::string::npos);
+}
+
+TEST(PaperSchedule, Validation) {
+  const auto profile = compute_level_profile(1000, 48.0);
+  EXPECT_THROW(make_paper_schedule(1000, 0.0, 0.5, 1.0, profile),
+               ArgumentError);
+  EXPECT_THROW(make_paper_schedule(1000, 0.5, 1.5, 1.0, profile),
+               ArgumentError);
+  EXPECT_THROW(make_paper_schedule(1000, 0.5, 0.5, 0.0, profile),
+               ArgumentError);
+  EXPECT_THROW(make_paper_schedule(1000, 0.5, 0.5, 1.0, {}), ArgumentError);
+}
+
+// ----------------------------------------------------- PracticalSchedule ----
+
+TEST(PracticalSchedule, RoundsFollowObservationOne) {
+  const auto profile = compute_level_profile(65536, 48.0);
+  const auto schedule = make_practical_schedule(1e-3, 1.0, 10.0, profile);
+  ASSERT_EQ(schedule.rounds.size(), profile.size());
+  for (std::size_t r = 0; r < profile.size(); ++r) {
+    if (profile[r].fan_out == 0) {
+      EXPECT_EQ(schedule.rounds[r], 0u);
+      continue;
+    }
+    const double k = profile[r].fan_out;
+    const double expected = std::ceil(k * std::log(k / schedule.eps[r]));
+    EXPECT_EQ(schedule.rounds[r], static_cast<std::uint32_t>(expected));
+  }
+  EXPECT_NE(schedule.to_string().find("rounds"), std::string::npos);
+}
+
+TEST(PracticalSchedule, EpsDecaysGeometrically) {
+  const auto profile = compute_level_profile(65536, 48.0);
+  const auto schedule = make_practical_schedule(1e-2, 2.0, 5.0, profile);
+  for (std::size_t r = 1; r < schedule.eps.size(); ++r) {
+    EXPECT_NEAR(schedule.eps[r - 1] / schedule.eps[r], 5.0, 1e-9);
+  }
+}
+
+TEST(PracticalSchedule, Validation) {
+  const auto profile = compute_level_profile(1000, 48.0);
+  EXPECT_THROW(make_practical_schedule(2.0, 1.0, 10.0, profile),
+               ArgumentError);
+  EXPECT_THROW(make_practical_schedule(0.5, 0.0, 10.0, profile),
+               ArgumentError);
+  EXPECT_THROW(make_practical_schedule(0.5, 1.0, 1.0, profile),
+               ArgumentError);
+}
+
+// ------------------------------------------------------------ Predictions ----
+
+TEST(Predictions, OrderingAtLargeN) {
+  // At large n the paper's n^(1+o(1)) must sit below Dimakis' n^1.5,
+  // which sits below Boyd's n^2 (equal constants).
+  const std::size_t n = 1 << 26;
+  const double boyd = boyd_predicted_transmissions(n, 1e-3, 1.0);
+  const double dimakis = dimakis_predicted_transmissions(n, 1e-3, 1.0);
+  const double narayanan = narayanan_predicted_transmissions(n, 1e-3, 1.0);
+  EXPECT_LT(narayanan, dimakis);
+  EXPECT_LT(dimakis, boyd);
+}
+
+TEST(Predictions, NarayananExponentApproachesOne) {
+  // Fitted local exponent d log T / d log n falls towards 1 as n grows.
+  const auto local_exponent = [](std::size_t n) {
+    const double t1 = narayanan_predicted_transmissions(n, 1e-3, 1.0);
+    const double t2 = narayanan_predicted_transmissions(2 * n, 1e-3, 1.0);
+    return std::log2(t2 / t1);
+  };
+  const double at_small = local_exponent(1 << 12);
+  const double at_large = local_exponent(1 << 30);
+  EXPECT_LT(at_large, at_small);
+  EXPECT_LT(at_large, 1.5);
+  EXPECT_GT(at_large, 1.0);
+}
+
+TEST(Predictions, Validation) {
+  EXPECT_THROW(narayanan_predicted_transmissions(2, 1e-3, 1.0),
+               ArgumentError);
+  EXPECT_THROW(narayanan_predicted_transmissions(100, 2.0, 1.0),
+               ArgumentError);
+}
+
+// --------------------------------------------------- round accounting ----
+
+TEST(ExchangeBeta, ModesProduceDocumentedGains) {
+  EXPECT_DOUBLE_EQ(exchange_beta(BetaMode::kExpected, 100.0, 90, 110), 40.0);
+  // Harmonic mean of (90, 110) = 99.0; beta = 2/5 * 99.
+  EXPECT_NEAR(exchange_beta(BetaMode::kActualHarmonic, 100.0, 90, 110),
+              0.4 * (2.0 * 90.0 * 110.0 / 200.0), 1e-12);
+  EXPECT_DOUBLE_EQ(exchange_beta(BetaMode::kConvexRep, 100.0, 90, 110), 0.5);
+  EXPECT_THROW(exchange_beta(BetaMode::kExpected, 100.0, 0, 10),
+               ArgumentError);
+}
+
+TEST(ChargedLeafCost, ModelsScaleAsDocumented) {
+  // GRG-mixing: linear in m when the square is ~1 radius across.
+  const auto linear_small =
+      charged_leaf_cost(LeafCostModel::kGrgMixing, 32, 1.0, 1e-3, 1.0);
+  const auto linear_large =
+      charged_leaf_cost(LeafCostModel::kGrgMixing, 64, 1.0, 1e-3, 1.0);
+  EXPECT_GT(linear_large, linear_small);
+  EXPECT_LT(linear_large, 3 * linear_small);  // ~2x plus the log factor
+
+  // Quadratic model: 2x members -> ~4x cost.
+  const auto quad_small =
+      charged_leaf_cost(LeafCostModel::kQuadratic, 32, 1.0, 1e-3, 1.0);
+  const auto quad_large =
+      charged_leaf_cost(LeafCostModel::kQuadratic, 64, 1.0, 1e-3, 1.0);
+  EXPECT_GT(quad_large, 3 * quad_small);
+  EXPECT_LT(quad_large, 5 * quad_small);
+
+  // Side/radius ratio quadratically inflates the mixing model.
+  const auto wide =
+      charged_leaf_cost(LeafCostModel::kGrgMixing, 32, 4.0, 1e-3, 1.0);
+  EXPECT_NEAR(static_cast<double>(wide) / linear_small, 16.0, 1.0);
+
+  // Single node costs nothing; measured model cannot be charged.
+  EXPECT_EQ(charged_leaf_cost(LeafCostModel::kGrgMixing, 1, 1.0, 1e-3, 1.0),
+            0u);
+  EXPECT_THROW(charged_leaf_cost(LeafCostModel::kMeasured, 32, 1.0, 1e-3, 1.0),
+               ArgumentError);
+}
+
+TEST(Names, EnumsHaveStableNames) {
+  EXPECT_EQ(leaf_cost_model_name(LeafCostModel::kGrgMixing), "grg-mixing");
+  EXPECT_EQ(leaf_cost_model_name(LeafCostModel::kQuadratic), "quadratic");
+  EXPECT_EQ(beta_mode_name(BetaMode::kExpected), "expected(2E#/5)");
+  EXPECT_EQ(beta_mode_name(BetaMode::kConvexRep), "convex(1/2)");
+}
+
+}  // namespace
+}  // namespace geogossip::core

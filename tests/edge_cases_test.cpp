@@ -1,0 +1,209 @@
+// Edge-case and failure-path coverage that the per-module suites leave
+// open: degenerate deployments, zero-convergence aggregation, file-backed
+// CSV, protocol behaviour on pathological graphs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/convergence.hpp"
+#include "core/decentralized.hpp"
+#include "core/hierarchy_protocol.hpp"
+#include "geometry/sampling.hpp"
+#include "gossip/pairwise.hpp"
+#include "gossip/spanning_tree.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/geometric_graph.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/field.hpp"
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip {
+namespace {
+
+using geometry::Vec2;
+using graph::GeometricGraph;
+
+// --------------------------------------------------------- tiny graphs ----
+
+TEST(EdgeCases, TwoNodeGraphEverythingWorks) {
+  const std::vector<Vec2> points{{0.4, 0.5}, {0.6, 0.5}};
+  const GeometricGraph g(points, 0.5);
+  ASSERT_TRUE(graph::is_connected(g.adjacency()));
+
+  const auto tree = gossip::spanning_tree_average(g, {1.0, 3.0});
+  EXPECT_TRUE(tree.complete);
+  EXPECT_DOUBLE_EQ(tree.mean, 2.0);
+  EXPECT_EQ(tree.transmissions.total(), 2u);
+
+  Rng rng(2000);
+  core::TrialOptions options;
+  options.eps = 1e-6;
+  const auto outcome = core::run_protocol_trial(
+      core::ProtocolKind::kBoydPairwise, g, {1.0, 3.0}, rng, options);
+  EXPECT_TRUE(outcome.converged);
+}
+
+TEST(EdgeCases, SingleNodeSpanningTree) {
+  const std::vector<Vec2> points{{0.5, 0.5}};
+  const GeometricGraph g(points, 0.1);
+  const auto tree = gossip::spanning_tree_average(g, {42.0});
+  EXPECT_TRUE(tree.complete);
+  EXPECT_DOUBLE_EQ(tree.mean, 42.0);
+  EXPECT_EQ(tree.transmissions.total(), 0u);
+  EXPECT_EQ(gossip::spanning_tree_floor(1), 0u);
+}
+
+// -------------------------------------------------- zero-convergence agg ----
+
+TEST(EdgeCases, SweepPointHandlesTotalNonConvergence) {
+  core::TrialOptions options;
+  options.eps = 1e-9;
+  options.max_ticks = 100;  // hopeless
+  const auto point = core::sweep_point(core::ProtocolKind::kBoydPairwise,
+                                       256, 2.0, 3, 2001, options);
+  EXPECT_DOUBLE_EQ(point.converged_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(point.median_tx, 0.0);
+}
+
+// ------------------------------------------------------- file-backed CSV ----
+
+TEST(EdgeCases, CsvWriterRoundTripsThroughAFile) {
+  const std::string path = "/tmp/geogossip_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b"});
+    csv.field(std::int64_t{1}).field("x,y").end_row();
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,\"x,y\"\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/nope.csv"), ArgumentError);
+}
+
+// ---------------------------------------- protocols on hostile networks ----
+
+TEST(EdgeCases, AsyncProtocolSurvivesClusteredDeployment) {
+  Rng rng(2002);
+  auto points = geometry::sample_clustered(
+      600, geometry::Rect::unit_square(), 3, 0.06, rng);
+  const GeometricGraph g(std::move(points), 0.25);
+  auto x0 = sim::gaussian_field(g.node_count(), rng);
+  sim::center_and_normalize(x0);
+
+  core::HierarchyProtocolConfig config;
+  config.eps = 1e-1;
+  core::HierarchicalAffineProtocol protocol(g, x0, rng, config);
+  sim::AsyncClock clock(static_cast<std::uint32_t>(g.node_count()), rng);
+  const double sum0 = protocol.value_sum();
+  for (int i = 0; i < 500'000; ++i) protocol.on_tick(clock.next());
+  EXPECT_NEAR(protocol.value_sum(), sum0, 1e-7);
+  // No NaN/inf leaked into the state.
+  for (const double v : protocol.values()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(EdgeCases, DecentralizedSurvivesEmptySquares) {
+  // Clustered deployment leaves many grid squares empty; the protocol must
+  // only ever target non-empty ones and never stall.
+  Rng rng(2003);
+  auto points = geometry::sample_clustered(
+      500, geometry::Rect::unit_square(), 2, 0.05, rng);
+  const GeometricGraph g(std::move(points), 0.3);
+  auto x0 = sim::gaussian_field(g.node_count(), rng);
+
+  core::DecentralizedAffineGossip protocol(g, x0, rng, {});
+  sim::AsyncClock clock(static_cast<std::uint32_t>(g.node_count()), rng);
+  const double sum0 = protocol.value_sum();
+  for (int i = 0; i < 300'000; ++i) protocol.on_tick(clock.next());
+  EXPECT_NEAR(protocol.value_sum(), sum0, 1e-7);
+  EXPECT_GT(protocol.far_exchanges(), 0u);
+}
+
+TEST(EdgeCases, PairwiseOnStarGraphConverges) {
+  // A hub with spokes: extreme degree asymmetry.
+  std::vector<Vec2> points{{0.5, 0.5}};
+  for (int k = 0; k < 12; ++k) {
+    const double angle = 2.0 * 3.14159265358979 * k / 12.0;
+    points.push_back({0.5 + 0.04 * std::cos(angle),
+                      0.5 + 0.04 * std::sin(angle)});
+  }
+  const GeometricGraph g(std::move(points), 0.05);
+  Rng rng(2004);
+  std::vector<double> x0(g.node_count(), 0.0);
+  x0[0] = 13.0;
+  gossip::PairwiseGossip protocol(g, x0, rng);
+  sim::RunConfig run;
+  run.epsilon = 1e-3;
+  run.max_ticks = 10'000'000;
+  const auto result = sim::run_to_epsilon(protocol, rng, run);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(protocol.values()[3], 1.0, 0.1);
+}
+
+// ----------------------------------------------------- hierarchy corners ----
+
+TEST(EdgeCases, HierarchyWithAllPointsInOneCorner) {
+  Rng rng(2005);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0.0, 0.05), rng.uniform(0.0, 0.05)});
+  }
+  geometry::HierarchyConfig config;
+  config.leaf_occupancy = 20.0;
+  const geometry::PartitionHierarchy h(points, config);
+  // Nearly every square is empty, but invariants still hold.
+  EXPECT_GT(h.empty_squares(), 0);
+  std::size_t members = 0;
+  for (const int leaf : h.leaves()) {
+    members += h.square(leaf).occupancy();
+  }
+  EXPECT_EQ(members, points.size());
+  // Multilevel still averages this pathological deployment.
+  const GeometricGraph g(points, 0.03);
+  if (graph::is_connected(g.adjacency())) {
+    auto x0 = sim::gaussian_field(g.node_count(), rng);
+    sim::center_and_normalize(x0);
+    core::MultilevelConfig mconfig;
+    mconfig.eps = 1e-2;
+    core::MultilevelAffineGossip protocol(g, x0, rng, mconfig);
+    const auto result = protocol.run();
+    EXPECT_TRUE(result.converged);
+  }
+}
+
+TEST(EdgeCases, EngineCheckIntervalControlsDetectionGranularity) {
+  Rng rng(2006);
+  const auto g = GeometricGraph::sample(128, 2.0, rng);
+  auto x0 = sim::gaussian_field(g.node_count(), rng);
+  sim::center_and_normalize(x0);
+
+  gossip::PairwiseGossip fine(g, x0, rng);
+  sim::RunConfig config;
+  config.epsilon = 5e-2;
+  config.max_ticks = 10'000'000;
+  config.check_interval = 1;  // every tick
+  const auto fine_result = sim::run_to_epsilon(fine, rng, config);
+
+  Rng rng2(2006);
+  (void)GeometricGraph::sample(128, 2.0, rng2);  // burn the same stream
+  gossip::PairwiseGossip coarse(g, x0, rng2);
+  config.check_interval = 100000;
+  const auto coarse_result = sim::run_to_epsilon(coarse, rng2, config);
+
+  ASSERT_TRUE(fine_result.converged);
+  ASSERT_TRUE(coarse_result.converged);
+  // Coarse checking can only stop at multiples of the interval.
+  EXPECT_EQ(coarse_result.ticks % 100000, 0u);
+  EXPECT_LE(fine_result.ticks, coarse_result.ticks);
+}
+
+}  // namespace
+}  // namespace geogossip

@@ -1,0 +1,420 @@
+// Unit tests for the support module: RNG, checks, strings, CSV, CLI,
+// logging, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace geogossip {
+namespace {
+
+// ---------------------------------------------------------------- check ----
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(GG_CHECK(1 + 1 == 2, "arithmetic"));
+  EXPECT_NO_THROW(GG_CHECK_ARG(true, "ok"));
+}
+
+TEST(Check, FailingInvariantThrowsCheckError) {
+  EXPECT_THROW(GG_CHECK(false, "boom"), CheckError);
+}
+
+TEST(Check, FailingArgumentThrowsArgumentError) {
+  EXPECT_THROW(GG_CHECK_ARG(false, "bad arg"), ArgumentError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    GG_CHECK(2 < 1, "custom context");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) seeds.insert(derive_seed(7, s));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBoundsAndValidatesThem) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 1.0), ArgumentError);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ArgumentError);
+}
+
+TEST(Rng, BelowCoversRangeUniformly) {
+  Rng rng(5);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBuckets), 600);
+  }
+  EXPECT_THROW(rng.below(0), ArgumentError);
+}
+
+TEST(Rng, BelowExcludingNeverReturnsExcluded) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.below_excluding(7, 3);
+    EXPECT_NE(v, 3u);
+    EXPECT_LT(v, 7u);
+  }
+  EXPECT_THROW(rng.below_excluding(1, 0), ArgumentError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCasesAndRate) {
+  Rng rng(8);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  double total = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) total += rng.exponential(4.0);
+  EXPECT_NEAR(total / kDraws, 0.25, 0.005);
+  EXPECT_THROW(rng.exponential(0.0), ArgumentError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMeanSmallAndLargeRegimes) {
+  Rng rng(11);
+  for (const double mean : {0.5, 8.0, 200.0}) {
+    double total = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      total += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(total / kDraws, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+  EXPECT_EQ(Rng(1).poisson(0.0), 0u);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(12);
+  const auto sample = rng.sample_without_replacement(100, 100);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), ArgumentError);
+}
+
+TEST(Rng, SampleWithoutReplacementSubset) {
+  Rng rng(13);
+  for (int round = 0; round < 50; ++round) {
+    const auto sample = rng.sample_without_replacement(50, 7);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (const auto v : unique) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------- string_util ----
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, TrimWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(StringUtil, FormatHelpers) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(format_si(1234.0), "1.23k");
+  EXPECT_EQ(format_si(12.0), "12");
+  EXPECT_EQ(format_si(5.1e7), "51.0M");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(7), "7");
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 "), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3"), -1e-3);
+  EXPECT_THROW(parse_double("abc"), ArgumentError);
+  EXPECT_THROW(parse_double("1.5x"), ArgumentError);
+  EXPECT_THROW(parse_double(""), ArgumentError);
+}
+
+TEST(StringUtil, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_THROW(parse_int("4.2"), ArgumentError);
+  EXPECT_THROW(parse_int(""), ArgumentError);
+}
+
+TEST(StringUtil, ParseBool) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("YES"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("No"));
+  EXPECT_THROW(parse_bool("maybe"), ArgumentError);
+}
+
+// -------------------------------------------------------------- logging ----
+
+TEST(Logging, LevelFiltering) {
+  std::ostringstream sink;
+  LogConfig::set_sink(sink);
+  LogConfig::set_level(LogLevel::kWarn);
+  log_info("hidden ", 1);
+  log_warn("visible ", 2);
+  LogConfig::set_level(LogLevel::kWarn);
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible 2"), std::string::npos);
+  LogConfig::set_sink(std::cerr);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+// ------------------------------------------------------------------ csv ----
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"n", "value"});
+  csv.field(std::int64_t{10}).field(3.5).end_row();
+  csv.row({"20", "x,y"});
+  EXPECT_EQ(out.str(), "n,value\n10,3.5\n20,\"x,y\"\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EnforcesDiscipline) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.field("premature"), CheckError);  // row before header
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.header({"again"}), CheckError);
+  csv.field("1");
+  EXPECT_THROW(csv.end_row(), CheckError);  // width mismatch
+}
+
+// ------------------------------------------------------------------ cli ----
+
+TEST(Cli, ParsesAllValueForms) {
+  std::int64_t n = 10;
+  double eps = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  ArgParser parser("prog", "test");
+  parser.add_flag("n", &n, "count");
+  parser.add_flag("eps", &eps, "accuracy");
+  parser.add_flag("name", &name, "label");
+  parser.add_flag("verbose", &verbose, "chatty");
+
+  const char* argv[] = {"prog", "--n=42", "--eps", "0.125",
+                        "--name=run1", "--verbose", "positional"};
+  ASSERT_TRUE(parser.parse(7, argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(eps, 0.125);
+  EXPECT_EQ(name, "run1");
+  EXPECT_TRUE(verbose);
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "positional");
+}
+
+TEST(Cli, BoolExplicitValueForm) {
+  bool flag = true;
+  ArgParser parser("prog", "test");
+  parser.add_flag("flag", &flag, "a bool");
+  const char* argv[] = {"prog", "--flag=false"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Cli, RejectsUnknownFlagAndMissingValue) {
+  std::int64_t n = 0;
+  ArgParser parser("prog", "test");
+  parser.add_flag("n", &n, "count");
+  const char* bad[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(parser.parse(2, bad), ArgumentError);
+  const char* missing[] = {"prog", "--n"};
+  EXPECT_THROW(parser.parse(2, missing), ArgumentError);
+}
+
+TEST(Cli, RejectsDuplicateRegistration) {
+  std::int64_t n = 0;
+  ArgParser parser("prog", "test");
+  parser.add_flag("n", &n, "count");
+  EXPECT_THROW(parser.add_flag("n", &n, "again"), ArgumentError);
+}
+
+TEST(Cli, HelpReturnsFalseAndMentionsFlags) {
+  std::int64_t n = 3;
+  ArgParser parser("prog", "summary line");
+  parser.add_flag("n", &n, "the count");
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(parser.parse(2, argv));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("summary line"), std::string::npos);
+  EXPECT_NE(out.find("--n"), std::string::npos);
+  EXPECT_NE(out.find("default: 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(Table, AlignsColumns) {
+  ConsoleTable table({"name", "value"});
+  table.set_alignment(0, Align::kLeft);
+  table.cell("a").cell(std::int64_t{1}).end_row();
+  table.cell("long-name").cell(std::int64_t{22}).end_row();
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ArgumentError);
+}
+
+TEST(Table, DoubleFormatting) {
+  ConsoleTable table({"x"});
+  table.cell(1.23456, 2).end_row();
+  EXPECT_NE(table.to_string().find("1.23"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  AsciiChart::Options options;
+  options.width = 32;
+  options.height = 8;
+  options.log_y = true;
+  AsciiChart chart(options);
+  chart.add_series("decay", '*', {0, 1, 2, 3}, {1.0, 0.1, 0.01, 0.001});
+  std::ostringstream os;
+  chart.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("decay"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartDoesNotCrash) {
+  AsciiChart chart;
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geogossip
