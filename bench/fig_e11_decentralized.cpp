@@ -6,20 +6,20 @@
 // each sensor fires a long-range affine exchange with probability p_far
 // per tick and otherwise averages inside its own square.  This bench
 // sweeps the separation factor (p_far = 1 / (sep * m * ln m)) to locate
-// the stability boundary, and compares the converged configurations
-// against the controlled §4.2 machine and the centralized spanning-tree
-// floor 2(n-1).
+// the stability boundary — one Scenario cell per configuration, run by the
+// parallel exp::Runner — and compares the converged configurations against
+// the controlled §4.2 machine and the centralized spanning-tree floor
+// 2(n-1).
 #include <cmath>
 #include <iostream>
-#include <vector>
+#include <utility>
 
 #include "core/convergence.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "gossip/spanning_tree.hpp"
-#include "stats/summary.hpp"
-#include "sim/field.hpp"
 #include "support/cli.hpp"
 #include "support/string_util.hpp"
-#include "support/table.hpp"
 
 namespace gg = geogossip;
 using gg::core::ProtocolKind;
@@ -28,101 +28,75 @@ int main(int argc, char** argv) {
   std::int64_t n = 4096;
   std::int64_t seeds = 3;
   std::int64_t master_seed = 9;
+  std::int64_t threads = 0;
   double eps = 1e-3;
   double radius_multiplier = 1.2;
   std::string separations = "0.05,0.25,1,4,8";
+  std::string csv_path;
+  std::string json_path;
 
   gg::ArgParser parser(
       "fig_e11_decentralized",
       "E11: decentralized affine gossip (the paper's §8 open problem)");
   parser.add_flag("n", &n, "deployment size");
-  parser.add_flag("seeds", &seeds, "trials per configuration");
+  parser.add_flag("seeds", &seeds, "replicates per configuration");
   parser.add_flag("seed", &master_seed, "master seed");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("eps", &eps, "accuracy target");
   parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
   parser.add_flag("separations", &separations,
                   "comma-separated rate-separation factors");
+  parser.add_flag("csv", &csv_path, "also write results to this CSV file");
+  parser.add_flag("json", &json_path,
+                  "also write results to this JSON-lines file");
   if (!parser.parse(argc, argv)) return 0;
 
   const auto nn = static_cast<std::size_t>(n);
   std::cout << "=== E11: decentralized affine gossip at n="
             << gg::format_count(nn) << ", eps=" << eps << " ===\n\n";
 
-  gg::ConsoleTable table({"configuration", "conv", "median tx", "tx/sensor",
-                          "far/near ratio"});
-  table.set_alignment(0, gg::Align::kLeft);
-
-  const auto run_rows = [&](const std::string& name,
-                            const gg::core::TrialOptions& options,
-                            ProtocolKind kind) {
-    gg::stats::Quantiles tx;
-    std::uint32_t converged = 0;
-    double far_near = 0.0;
-    for (std::int64_t trial = 0; trial < seeds; ++trial) {
-      gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(master_seed),
-                                  static_cast<std::uint64_t>(trial)));
-      const auto graph = gg::graph::GeometricGraph::sample(
-          nn, radius_multiplier, rng);
-      auto x0 = gg::sim::gaussian_field(nn, rng);
-      gg::sim::center_and_normalize(x0);
-
-      if (kind == ProtocolKind::kAffineDecentralized) {
-        gg::core::DecentralizedAffineGossip protocol(
-            graph, x0, rng, options.decentralized);
-        gg::sim::RunConfig run;
-        run.epsilon = eps;
-        // ~40x the expected convergence ticks at the default separation;
-        // unstable configurations must not burn the whole bench.
-        run.max_ticks = static_cast<std::uint64_t>(
-            2048.0 * static_cast<double>(nn) * std::log(1.0 / eps));
-        const auto result = gg::sim::run_to_epsilon(protocol, rng, run);
-        if (result.converged) {
-          ++converged;
-          tx.push(static_cast<double>(result.transmissions.total()));
-          if (protocol.near_exchanges() > 0) {
-            far_near += static_cast<double>(protocol.far_exchanges()) /
-                        static_cast<double>(protocol.near_exchanges());
-          }
-        }
-      } else {
-        auto trial_options = options;
-        trial_options.eps = eps;
-        const auto outcome = gg::core::run_protocol_trial(
-            kind, graph, x0, rng, trial_options);
-        if (outcome.converged) {
-          ++converged;
-          tx.push(static_cast<double>(outcome.transmissions.total()));
-        }
-      }
-    }
-    table.cell(name)
-        .cell(gg::format_fixed(
-            static_cast<double>(converged) / static_cast<double>(seeds), 2))
-        .cell(converged > 0 ? gg::format_si(tx.median()) : "-")
-        .cell(converged > 0
-                  ? gg::format_fixed(tx.median() / static_cast<double>(nn), 0)
-                  : "-")
-        .cell(converged > 0 && far_near > 0.0
-                  ? gg::format_fixed(far_near / converged, 4)
-                  : "-");
-    table.end_row();
-  };
+  gg::exp::Scenario scenario;
+  scenario.name = "e11-decentralized";
+  scenario.description =
+      "rate-separation sweep of the fully decentralized affine extension";
+  scenario.replicates = static_cast<std::uint32_t>(seeds);
+  scenario.master_seed = static_cast<std::uint64_t>(master_seed);
 
   for (const auto& sep_text : gg::split(separations, ',')) {
     const double sep = gg::parse_double(sep_text);
-    gg::core::TrialOptions options;
-    options.decentralized.separation = sep;
-    run_rows("decentralized | separation " + gg::trim(sep_text), options,
-             ProtocolKind::kAffineDecentralized);
+    auto& cell = scenario.add("decentralized | separation " +
+                                  gg::trim(sep_text),
+                              ProtocolKind::kAffineDecentralized, nn);
+    cell.radius_multiplier = radius_multiplier;
+    cell.field = gg::exp::CellField::kGaussian;
+    cell.options.eps = eps;
+    cell.options.decentralized.separation = sep;
+    // ~40x the expected convergence ticks at the default separation;
+    // unstable configurations must not burn the whole bench.
+    cell.options.max_ticks = static_cast<std::uint64_t>(
+        2048.0 * static_cast<double>(nn) * std::log(1.0 / eps));
   }
 
-  gg::core::TrialOptions controlled;
-  run_rows("controlled §4.2 machine", controlled,
-           ProtocolKind::kAffineAsync);
-  run_rows("one-level round accounting (§3)", controlled,
-           ProtocolKind::kAffineOneLevel);
+  const std::pair<const char*, ProtocolKind> baselines[] = {
+      {"controlled §4.2 machine", ProtocolKind::kAffineAsync},
+      {"one-level round accounting (§3)", ProtocolKind::kAffineOneLevel},
+  };
+  for (const auto& [label, kind] : baselines) {
+    auto& cell = scenario.add(label, kind, nn);
+    cell.radius_multiplier = radius_multiplier;
+    cell.field = gg::exp::CellField::kGaussian;
+    cell.options.eps = eps;
+  }
 
-  table.print(std::cout);
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = static_cast<unsigned>(threads);
+  const gg::exp::Runner runner(runner_options);
+  const auto summary = runner.run(scenario);
+
+  gg::exp::print_summary(std::cout, summary);
+  if (!csv_path.empty()) gg::exp::CsvSink(csv_path).write(summary);
+  if (!json_path.empty()) gg::exp::JsonLinesSink(json_path).write(summary);
 
   std::cout << "\ncentralized spanning-tree floor: "
             << gg::format_count(gg::gossip::spanning_tree_floor(nn))

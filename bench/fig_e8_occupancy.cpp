@@ -91,14 +91,20 @@ int main(int argc, char** argv) {
                                       expected, 0.1,
                                       static_cast<std::size_t>(squares));
 
+    // Incremental += rather than one operator+ chain: GCC 12's -Wrestrict
+    // fires a false positive (PR105329) on the chained form under -Werror.
+    std::string alpha_window = "(";
+    alpha_window += gg::format_fixed(alpha_min, 3);
+    alpha_window += ", ";
+    alpha_window += gg::format_fixed(alpha_max, 3);
+    alpha_window += ")";
     table.cell(gg::format_count(n))
         .cell(static_cast<std::uint64_t>(squares))
         .cell(gg::format_fixed(expected, 1))
         .cell(gg::format_fixed(mean_max_dev, 3))
         .cell(gg::format_fixed(p_all, 3))
         .cell(gg::format_fixed(std::max(0.0, chernoff), 3))
-        .cell("(" + gg::format_fixed(alpha_min, 3) + ", " +
-              gg::format_fixed(alpha_max, 3) + ")");
+        .cell(alpha_window);
     table.end_row();
     if (csv) {
       csv->field(static_cast<std::uint64_t>(n))

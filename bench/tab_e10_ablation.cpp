@@ -9,154 +9,126 @@
 //       cost models (grg-mixing and the paper's conservative quadratic).
 //   (c) Control overhead: share of Activate/Deactivate traffic, on/off.
 //   (d) The literal paper schedule vs the practical schedule (reported).
+//
+// Every ablation row is one cell of a Scenario executed by the parallel
+// exp::Runner.  All rows pin seed_stream = 0, so replicate k samples the
+// IDENTICAL (graph, field) in every row — a paired comparison that
+// isolates the design choice from graph-sampling noise, matching the
+// original driver's shared per-trial seeding.
 #include <iostream>
 #include <vector>
 
 #include "core/convergence.hpp"
 #include "core/schedule.hpp"
-#include "sim/field.hpp"
-#include "stats/summary.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "support/cli.hpp"
 #include "support/string_util.hpp"
-#include "support/table.hpp"
 
 namespace gg = geogossip;
 using gg::core::BetaMode;
 using gg::core::LeafCostModel;
 using gg::core::MultilevelConfig;
-
-namespace {
-
-struct AblationRow {
-  std::string name;
-  MultilevelConfig config;
-};
-
-}  // namespace
+using gg::core::ProtocolKind;
 
 int main(int argc, char** argv) {
   std::int64_t n = 16384;
   std::int64_t seeds = 3;
   std::int64_t master_seed = 5;
+  std::int64_t threads = 0;
   double eps = 1e-3;
   double radius_multiplier = 1.2;
+  std::string csv_path;
+  std::string json_path;
 
   gg::ArgParser parser("tab_e10_ablation", "E10: design-choice ablations");
   parser.add_flag("n", &n, "deployment size");
-  parser.add_flag("seeds", &seeds, "trials per row");
+  parser.add_flag("seeds", &seeds, "replicates per row");
   parser.add_flag("seed", &master_seed, "master seed");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("eps", &eps, "accuracy target");
   parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
+  parser.add_flag("csv", &csv_path, "also write results to this CSV file");
+  parser.add_flag("json", &json_path,
+                  "also write results to this JSON-lines file");
   if (!parser.parse(argc, argv)) return 0;
 
   const auto nn = static_cast<std::size_t>(n);
   std::cout << "=== E10: ablations at n=" << gg::format_count(nn)
             << ", eps=" << eps << " ===\n\n";
 
-  std::vector<AblationRow> rows;
-  {
-    MultilevelConfig base;
-    base.eps = eps;
+  gg::exp::Scenario scenario;
+  scenario.name = "e10-ablation";
+  scenario.description = "design-choice ablations for the affine protocols";
+  scenario.replicates = static_cast<std::uint32_t>(seeds);
+  scenario.master_seed = static_cast<std::uint64_t>(master_seed);
 
-    AblationRow harmonic{"multi | harmonic beta (default)", base};
-    rows.push_back(harmonic);
+  const auto add_row = [&](const std::string& label, ProtocolKind kind,
+                           const MultilevelConfig& config) {
+    auto& cell = scenario.add(label, kind, nn);
+    cell.radius_multiplier = radius_multiplier;
+    cell.field = gg::exp::CellField::kGaussian;
+    cell.options.eps = eps;
+    cell.options.multilevel = config;
+    cell.seed_stream = 0;  // paired draws across all ablation rows
+  };
 
-    AblationRow expected = harmonic;
-    expected.name = "multi | paper-literal beta=(2/5)E#";
-    expected.config.beta_mode = BetaMode::kExpected;
-    expected.config.max_top_rounds = 60000;  // divergence is a valid outcome
-    rows.push_back(expected);
+  MultilevelConfig base;
+  add_row("multi | harmonic beta (default)",
+          ProtocolKind::kAffineMultilevel, base);
 
-    AblationRow convex = harmonic;
-    convex.name = "multi | convex rep averaging (1/2)";
-    convex.config.beta_mode = BetaMode::kConvexRep;
-    convex.config.max_top_rounds = 60000;
-    rows.push_back(convex);
+  MultilevelConfig expected = base;
+  expected.beta_mode = BetaMode::kExpected;
+  expected.max_top_rounds = 60000;  // divergence is a valid outcome
+  add_row("multi | paper-literal beta=(2/5)E#",
+          ProtocolKind::kAffineMultilevel, expected);
 
-    AblationRow one_level = harmonic;
-    one_level.name = "one-level (§3) | grg-mixing leaves";
-    one_level.config.max_depth = 1;
-    rows.push_back(one_level);
+  MultilevelConfig convex = base;
+  convex.beta_mode = BetaMode::kConvexRep;
+  convex.max_top_rounds = 60000;
+  add_row("multi | convex rep averaging (1/2)",
+          ProtocolKind::kAffineMultilevel, convex);
 
-    // At one level the squares hold ~sqrt(n) sensors, so occupancies DO
-    // concentrate (relative fluctuation n^-1/4) and the paper-literal gain
-    // is stable — the concentration premise in action.
-    AblationRow one_level_expected = one_level;
-    one_level_expected.name = "one-level (§3) | paper-literal beta";
-    one_level_expected.config.beta_mode = BetaMode::kExpected;
-    rows.push_back(one_level_expected);
+  add_row("one-level (§3) | grg-mixing leaves",
+          ProtocolKind::kAffineOneLevel, base);
 
-    AblationRow one_level_quad = one_level;
-    one_level_quad.name = "one-level (§3) | quadratic leaves";
-    one_level_quad.config.leaf_cost = LeafCostModel::kQuadratic;
-    rows.push_back(one_level_quad);
+  // At one level the squares hold ~sqrt(n) sensors, so occupancies DO
+  // concentrate (relative fluctuation n^-1/4) and the paper-literal gain
+  // is stable — the concentration premise in action.
+  MultilevelConfig one_level_expected = base;
+  one_level_expected.beta_mode = BetaMode::kExpected;
+  add_row("one-level (§3) | paper-literal beta",
+          ProtocolKind::kAffineOneLevel, one_level_expected);
 
-    AblationRow multi_quad = harmonic;
-    multi_quad.name = "multi | quadratic leaves";
-    multi_quad.config.leaf_cost = LeafCostModel::kQuadratic;
-    rows.push_back(multi_quad);
+  MultilevelConfig one_level_quad = base;
+  one_level_quad.leaf_cost = LeafCostModel::kQuadratic;
+  add_row("one-level (§3) | quadratic leaves",
+          ProtocolKind::kAffineOneLevel, one_level_quad);
 
-    AblationRow no_control = harmonic;
-    no_control.name = "multi | control traffic uncharged";
-    no_control.config.charge_control = false;
-    rows.push_back(no_control);
+  MultilevelConfig multi_quad = base;
+  multi_quad.leaf_cost = LeafCostModel::kQuadratic;
+  add_row("multi | quadratic leaves", ProtocolKind::kAffineMultilevel,
+          multi_quad);
 
-    AblationRow noisy = harmonic;
-    noisy.name = "multi | leaf noise 1e-7 (Lemma 2 in vivo)";
-    noisy.config.leaf_noise = 1e-7;
-    rows.push_back(noisy);
-  }
+  MultilevelConfig no_control = base;
+  no_control.charge_control = false;
+  add_row("multi | control traffic uncharged",
+          ProtocolKind::kAffineMultilevel, no_control);
 
-  gg::ConsoleTable table({"configuration", "median tx", "local%", "lr%",
-                          "ctrl%", "conv"});
-  table.set_alignment(0, gg::Align::kLeft);
+  MultilevelConfig noisy = base;
+  noisy.leaf_noise = 1e-7;
+  add_row("multi | leaf noise 1e-7 (Lemma 2 in vivo)",
+          ProtocolKind::kAffineMultilevel, noisy);
 
-  for (const auto& row : rows) {
-    gg::stats::Quantiles tx;
-    double local_share = 0.0;
-    double lr_share = 0.0;
-    double control_share = 0.0;
-    std::uint32_t converged = 0;
-    for (std::int64_t trial = 0; trial < seeds; ++trial) {
-      gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(master_seed),
-                                  static_cast<std::uint64_t>(trial)));
-      const auto graph = gg::graph::GeometricGraph::sample(
-          nn, radius_multiplier, rng);
-      auto x0 = gg::sim::gaussian_field(nn, rng);
-      gg::sim::center_and_normalize(x0);
-      gg::core::MultilevelAffineGossip protocol(graph, x0, rng, row.config);
-      const auto result = protocol.run();
-      if (!result.converged) continue;
-      ++converged;
-      const auto total = result.transmissions.total();
-      tx.push(static_cast<double>(total));
-      if (total > 0) {
-        const double inv = 1.0 / static_cast<double>(total);
-        local_share += inv * static_cast<double>(
-            result.transmissions[gg::sim::TxCategory::kLocal]);
-        lr_share += inv * static_cast<double>(
-            result.transmissions[gg::sim::TxCategory::kLongRange]);
-        control_share += inv * static_cast<double>(
-            result.transmissions[gg::sim::TxCategory::kControl]);
-      }
-    }
-    const double conv_frac =
-        static_cast<double>(converged) / static_cast<double>(seeds);
-    table.cell(row.name)
-        .cell(converged > 0 ? gg::format_si(tx.median()) : "-")
-        .cell(converged > 0
-                  ? gg::format_fixed(100.0 * local_share / converged, 1)
-                  : "-")
-        .cell(converged > 0
-                  ? gg::format_fixed(100.0 * lr_share / converged, 1)
-                  : "-")
-        .cell(converged > 0
-                  ? gg::format_fixed(100.0 * control_share / converged, 1)
-                  : "-")
-        .cell(gg::format_fixed(conv_frac, 2));
-    table.end_row();
-  }
-  table.print(std::cout);
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = static_cast<unsigned>(threads);
+  const gg::exp::Runner runner(runner_options);
+  const auto summary = runner.run(scenario);
+
+  gg::exp::print_summary(std::cout, summary);
+  if (!csv_path.empty()) gg::exp::CsvSink(csv_path).write(summary);
+  if (!json_path.empty()) gg::exp::JsonLinesSink(json_path).write(summary);
 
   std::cout << "\n--- literal §4.1 schedule at this n (reported, never "
                "simulated) ---\n";

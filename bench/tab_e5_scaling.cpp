@@ -3,31 +3,27 @@
 // Reproduces the paper's central comparison: Boyd nearest-neighbour gossip
 // (O~(n^2)) vs Dimakis geographic gossip (O~(n^1.5)) vs this paper's affine
 // protocols (n^(1+o(1))).  Each protocol is swept over its own feasible n
-// range (DESIGN.md §2 honesty note), the median transmissions-to-eps are
+// range (DESIGN.md §2 honesty note); the sweep itself is a Scenario run by
+// the thread-parallel exp::Runner, the median transmissions-to-eps are
 // fitted to c * n^p, and the measured exponents + extrapolated crossovers
 // are printed alongside the theoretical predictions.
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "analysis/exponent_fit.hpp"
 #include "core/convergence.hpp"
 #include "core/schedule.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "gossip/spanning_tree.hpp"
-#include "stats/regression.hpp"
 #include "support/cli.hpp"
-#include "support/csv.hpp"
 #include "support/string_util.hpp"
-#include "support/table.hpp"
 
 namespace gg = geogossip;
 using gg::core::ProtocolKind;
 
 namespace {
-
-struct ProtocolPlan {
-  ProtocolKind kind;
-  std::vector<std::size_t> ns;
-};
 
 std::vector<std::size_t> parse_sizes(const std::string& csv) {
   std::vector<std::size_t> out;
@@ -44,6 +40,7 @@ std::vector<std::size_t> parse_sizes(const std::string& csv) {
 int main(int argc, char** argv) {
   std::int64_t seeds = 4;
   std::int64_t master_seed = 1;
+  std::int64_t threads = 0;
   double eps = 1e-3;
   double radius_multiplier = 1.2;
   std::string boyd_ns = "512,1024,2048,4096,8192";
@@ -53,12 +50,15 @@ int main(int argc, char** argv) {
   std::string multi_ns = "2048,8192,32768,131072";
   std::string decentral_ns = "1024,4096,16384";
   std::string csv_path;
+  std::string json_path;
   bool quick = false;
 
   gg::ArgParser parser("tab_e5_scaling",
                        "E5: transmissions-to-eps scaling (headline table)");
-  parser.add_flag("seeds", &seeds, "trials per (protocol, n)");
+  parser.add_flag("seeds", &seeds, "replicates per (protocol, n)");
   parser.add_flag("seed", &master_seed, "master seed");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("eps", &eps, "accuracy target");
   parser.add_flag("radius-mult", &radius_multiplier,
                   "radius multiplier c in r = c sqrt(log n / n)");
@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
   parser.add_flag("decentral-ns", &decentral_ns,
                   "n sweep for the decentralized extension");
   parser.add_flag("csv", &csv_path, "also write results to this CSV file");
+  parser.add_flag("json", &json_path,
+                  "also write results to this JSON-lines file");
   parser.add_flag("quick", &quick, "shrink sweeps for a fast smoke run");
   if (!parser.parse(argc, argv)) return 0;
 
@@ -83,73 +85,57 @@ int main(int argc, char** argv) {
     seeds = std::min<std::int64_t>(seeds, 3);
   }
 
-  const std::vector<ProtocolPlan> plans{
-      {ProtocolKind::kBoydPairwise, parse_sizes(boyd_ns)},
-      {ProtocolKind::kDimakisGeographic, parse_sizes(dimakis_ns)},
-      {ProtocolKind::kPathAveraging, parse_sizes(pathavg_ns)},
-      {ProtocolKind::kAffineOneLevel, parse_sizes(one_level_ns)},
-      {ProtocolKind::kAffineMultilevel, parse_sizes(multi_ns)},
-      {ProtocolKind::kAffineDecentralized, parse_sizes(decentral_ns)},
+  const std::vector<std::pair<ProtocolKind, std::string>> plans{
+      {ProtocolKind::kBoydPairwise, boyd_ns},
+      {ProtocolKind::kDimakisGeographic, dimakis_ns},
+      {ProtocolKind::kPathAveraging, pathavg_ns},
+      {ProtocolKind::kAffineOneLevel, one_level_ns},
+      {ProtocolKind::kAffineMultilevel, multi_ns},
+      {ProtocolKind::kAffineDecentralized, decentral_ns},
   };
 
-  gg::core::TrialOptions options;
-  options.eps = eps;
+  gg::exp::Scenario scenario;
+  scenario.name = "e5-scaling";
+  scenario.description = "transmissions-to-eps scaling, all protocols";
+  scenario.replicates = static_cast<std::uint32_t>(seeds);
+  scenario.master_seed = static_cast<std::uint64_t>(master_seed);
+  for (const auto& [kind, ns_text] : plans) {
+    for (const std::size_t n : parse_sizes(ns_text)) {
+      auto& cell = scenario.add(kind, n);
+      cell.radius_multiplier = radius_multiplier;
+      cell.options.eps = eps;
+    }
+  }
 
   std::cout << "=== E5: transmissions to eps=" << eps
             << " (r = " << radius_multiplier
             << " sqrt(log n / n), seeds=" << seeds << ") ===\n\n";
 
-  gg::ConsoleTable table(
-      {"protocol", "n", "median tx", "q25", "q75", "ctrl%", "conv"});
-  table.set_alignment(0, gg::Align::kLeft);
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = static_cast<unsigned>(threads);
+  const gg::exp::Runner runner(runner_options);
+  const auto summary = runner.run(scenario);
 
-  std::unique_ptr<gg::CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<gg::CsvWriter>(csv_path);
-    csv->header({"protocol", "n", "median_tx", "q25_tx", "q75_tx",
-                 "control_share", "converged_fraction"});
-  }
+  gg::exp::print_summary(std::cout, summary);
+  if (!csv_path.empty()) gg::exp::CsvSink(csv_path).write(summary);
+  if (!json_path.empty()) gg::exp::JsonLinesSink(json_path).write(summary);
 
+  // Fit tx ~ c n^p per protocol over the cells that mostly converged.
   std::vector<gg::analysis::ScalingReport> reports;
-  for (const auto& plan : plans) {
+  for (const auto& [kind, ns_text] : plans) {
     std::vector<double> ns;
     std::vector<double> medians;
-    for (const std::size_t n : plan.ns) {
-      const auto point = gg::core::sweep_point(
-          plan.kind, n, radius_multiplier,
-          static_cast<std::uint32_t>(seeds),
-          static_cast<std::uint64_t>(master_seed), options);
-      table.cell(std::string(gg::core::protocol_kind_name(plan.kind)))
-          .cell(gg::format_count(n))
-          .cell(gg::format_si(point.median_tx))
-          .cell(gg::format_si(point.q25_tx))
-          .cell(gg::format_si(point.q75_tx))
-          .cell(gg::format_fixed(100.0 * point.mean_control_share, 1))
-          .cell(gg::format_fixed(point.converged_fraction, 2));
-      table.end_row();
-      if (csv) {
-        csv->field(std::string(gg::core::protocol_kind_name(plan.kind)))
-            .field(static_cast<std::uint64_t>(n))
-            .field(point.median_tx)
-            .field(point.q25_tx)
-            .field(point.q75_tx)
-            .field(point.mean_control_share)
-            .field(point.converged_fraction);
-        csv->end_row();
-      }
-      if (point.converged_fraction > 0.5) {
-        ns.push_back(static_cast<double>(n));
-        medians.push_back(point.median_tx);
-      }
+    for (const auto& cs : summary.cells) {
+      if (cs.cell.kind != kind) continue;
+      if (cs.converged_fraction <= 0.5) continue;
+      ns.push_back(static_cast<double>(cs.cell.n));
+      medians.push_back(cs.median_tx);
     }
     if (ns.size() >= 3) {
       reports.push_back(gg::analysis::fit_scaling(
-          std::string(gg::core::protocol_kind_name(plan.kind)), ns,
-          medians));
+          std::string(gg::core::protocol_kind_name(kind)), ns, medians));
     }
   }
-
-  table.print(std::cout);
 
   std::cout << "\n--- fitted scaling exponents (tx ~ c n^p) ---\n";
   for (const auto& report : reports) {

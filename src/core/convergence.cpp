@@ -133,7 +133,10 @@ TrialOutcome run_protocol_trial(ProtocolKind kind,
       DecentralizedAffineGossip protocol(graph, x0, rng,
                                          options.decentralized);
       const auto run = sim::run_to_epsilon(protocol, rng, run_config);
-      return from_run(run, sum_before, sum_of(protocol.values()));
+      auto outcome = from_run(run, sum_before, sum_of(protocol.values()));
+      outcome.far_exchanges = protocol.far_exchanges();
+      outcome.near_exchanges = protocol.near_exchanges();
+      return outcome;
     }
     case ProtocolKind::kAffineOneLevel:
     case ProtocolKind::kAffineMultilevel: {

@@ -55,6 +55,10 @@ struct TrialOutcome {
   sim::TxSnapshot transmissions;
   /// Conservation check: |sum x(end) - sum x(0)|.
   double sum_drift = 0.0;
+  /// Exchange counts reported by the decentralized protocol (E11's
+  /// far/near rate-separation diagnostic); 0 for every other kind.
+  std::uint64_t far_exchanges = 0;
+  std::uint64_t near_exchanges = 0;
 };
 
 /// Runs one protocol once.  `x0` should already be centred (the harness

@@ -1,0 +1,203 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "exp/thread_pool.hpp"
+#include "graph/geometric_graph.hpp"
+#include "sim/field.hpp"
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace geogossip::exp {
+
+namespace {
+
+std::vector<double> make_initial_field(const Cell& cell,
+                                       const graph::GeometricGraph& graph,
+                                       Rng& rng) {
+  switch (cell.field) {
+    case CellField::kSpikedGaussian: {
+      auto x0 = sim::gaussian_field(cell.n, rng);
+      x0[rng.below(cell.n)] += std::sqrt(static_cast<double>(cell.n));
+      return x0;
+    }
+    case CellField::kGaussian:
+      return sim::gaussian_field(cell.n, rng);
+    case CellField::kSpike:
+      return sim::make_field(sim::FieldKind::kSpike, graph.points(), rng);
+    case CellField::kGradient:
+      return sim::make_field(sim::FieldKind::kGradient, graph.points(), rng);
+    case CellField::kCheckerboard:
+      return sim::make_field(sim::FieldKind::kCheckerboard, graph.points(),
+                             rng);
+  }
+  throw ArgumentError("make_initial_field: bad field kind");
+}
+
+}  // namespace
+
+ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed) {
+  GG_CHECK_ARG(cell.n >= 2, "run_replicate: cell.n >= 2");
+  Rng rng(seed);
+  const auto graph =
+      graph::GeometricGraph::sample(cell.n, cell.radius_multiplier, rng);
+  auto x0 = make_initial_field(cell, graph, rng);
+  sim::center_and_normalize(x0);
+
+  const auto outcome =
+      core::run_protocol_trial(cell.kind, graph, x0, rng, cell.options);
+
+  ReplicateResult result;
+  result.seed = seed;
+  result.converged = outcome.converged;
+  result.final_error = outcome.final_error;
+  result.sum_drift = outcome.sum_drift;
+  result.transmissions = outcome.transmissions;
+  result.far_exchanges = outcome.far_exchanges;
+  result.near_exchanges = outcome.near_exchanges;
+  return result;
+}
+
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {}
+
+SweepSummary Runner::run(const Scenario& scenario) const {
+  GG_CHECK_ARG(!scenario.cells.empty(), "Runner::run: scenario has cells");
+  GG_CHECK_ARG(scenario.replicates >= 1, "Runner::run: replicates >= 1");
+
+  const std::size_t cell_count = scenario.cells.size();
+  const std::uint32_t replicates = scenario.replicates;
+  const std::size_t task_count = cell_count * replicates;
+  std::vector<ReplicateResult> results(task_count);
+
+  ThreadPool pool(options_.threads);
+  std::mutex progress_mu;
+  const auto start = std::chrono::steady_clock::now();
+  pool.run(task_count, [&](std::size_t task) {
+    const std::size_t cell_index = task / replicates;
+    const auto replicate = static_cast<std::uint32_t>(task % replicates);
+    const Cell& cell = scenario.cells[cell_index];
+    const std::size_t stream = cell.seed_stream == kAutoSeedStream
+                                   ? cell_index
+                                   : cell.seed_stream;
+    results[task] = run_replicate(
+        cell, replicate_seed(scenario.master_seed, stream, replicate));
+    if (options_.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      options_.progress(cell, results[task]);
+    }
+  });
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  SweepSummary summary;
+  summary.scenario = scenario.name;
+  summary.replicates = replicates;
+  summary.master_seed = scenario.master_seed;
+  summary.threads = pool.thread_count();
+  summary.wall_seconds = elapsed.count();
+  summary.cells.reserve(cell_count);
+
+  // Aggregation runs sequentially in (cell, replicate) index order, so the
+  // numbers below cannot depend on how the pool interleaved the tasks.
+  for (std::size_t c = 0; c < cell_count; ++c) {
+    CellSummary cs;
+    cs.cell = scenario.cells[c];
+    cs.cell_index = c;
+    cs.replicates = replicates;
+
+    stats::Quantiles tx;
+    double local = 0.0;
+    double long_range = 0.0;
+    double control = 0.0;
+    double far_near = 0.0;
+    std::uint32_t far_near_count = 0;
+    for (std::uint32_t r = 0; r < replicates; ++r) {
+      const ReplicateResult& rr = results[c * replicates + r];
+      if (options_.keep_replicates) cs.raw.push_back(rr);
+      if (!rr.converged) continue;
+      ++cs.converged;
+      const std::uint64_t total = rr.transmissions.total();
+      tx.push(static_cast<double>(total));
+      if (total > 0) {
+        const double inv = 1.0 / static_cast<double>(total);
+        local += inv * static_cast<double>(
+                           rr.transmissions[sim::TxCategory::kLocal]);
+        long_range += inv * static_cast<double>(
+                                rr.transmissions[sim::TxCategory::kLongRange]);
+        control += inv * static_cast<double>(
+                             rr.transmissions[sim::TxCategory::kControl]);
+      }
+      if (rr.near_exchanges > 0) {
+        far_near += static_cast<double>(rr.far_exchanges) /
+                    static_cast<double>(rr.near_exchanges);
+        ++far_near_count;
+      }
+    }
+    cs.converged_fraction =
+        static_cast<double>(cs.converged) / static_cast<double>(replicates);
+    if (tx.count() > 0) {
+      cs.median_tx = tx.median();
+      cs.q25_tx = tx.quantile(0.25);
+      cs.q75_tx = tx.quantile(0.75);
+    }
+    if (cs.converged > 0) {
+      const double inv = 1.0 / static_cast<double>(cs.converged);
+      cs.mean_local_share = local * inv;
+      cs.mean_long_range_share = long_range * inv;
+      cs.mean_control_share = control * inv;
+    }
+    if (far_near_count > 0) {
+      cs.mean_far_near_ratio =
+          far_near / static_cast<double>(far_near_count);
+    }
+    summary.cells.push_back(std::move(cs));
+  }
+  return summary;
+}
+
+void print_summary(std::ostream& out, const SweepSummary& summary) {
+  bool any_far_near = false;
+  for (const auto& cs : summary.cells) {
+    if (cs.mean_far_near_ratio > 0.0) any_far_near = true;
+  }
+
+  std::vector<std::string> columns{"cell",   "n",   "median tx", "q25",
+                                   "q75",    "tx/node", "local%", "lr%",
+                                   "ctrl%",  "conv"};
+  if (any_far_near) columns.push_back("far/near");
+  ConsoleTable table(columns);
+  table.set_alignment(0, Align::kLeft);
+
+  for (const auto& cs : summary.cells) {
+    const bool has_tx = cs.converged > 0;
+    table.cell(cs.cell.label)
+        .cell(format_count(cs.cell.n))
+        .cell(has_tx ? format_si(cs.median_tx) : "-")
+        .cell(has_tx ? format_si(cs.q25_tx) : "-")
+        .cell(has_tx ? format_si(cs.q75_tx) : "-")
+        .cell(has_tx ? format_fixed(
+                           cs.median_tx / static_cast<double>(cs.cell.n), 1)
+                     : "-")
+        .cell(has_tx ? format_fixed(100.0 * cs.mean_local_share, 1) : "-")
+        .cell(has_tx ? format_fixed(100.0 * cs.mean_long_range_share, 1)
+                     : "-")
+        .cell(has_tx ? format_fixed(100.0 * cs.mean_control_share, 1) : "-")
+        .cell(format_fixed(cs.converged_fraction, 2));
+    if (any_far_near) {
+      table.cell(cs.mean_far_near_ratio > 0.0
+                     ? format_fixed(cs.mean_far_near_ratio, 4)
+                     : "-");
+    }
+    table.end_row();
+  }
+  table.print(out);
+  out << "[" << summary.scenario << "] replicates=" << summary.replicates
+      << " seed=" << summary.master_seed << " threads=" << summary.threads
+      << " wall=" << format_fixed(summary.wall_seconds, 2) << "s\n";
+}
+
+}  // namespace geogossip::exp

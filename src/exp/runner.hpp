@@ -1,0 +1,102 @@
+// Thread-parallel scenario runner.
+//
+// Runner fans every (cell, replicate) pair of a Scenario out across a
+// work-stealing ThreadPool.  Each task derives its Rng seed from
+// replicate_seed(master, stream, replicate) — stream being the cell index,
+// or the cell's pinned seed_stream for paired comparisons — and writes
+// into its own preallocated result slot, so aggregation happens in
+// deterministic index order after the pool drains: per-cell summaries are
+// bit-identical at any thread count.  Summaries reduce replicate outcomes through
+// stats::Quantiles / RunningStat, the same machinery the hand-rolled bench
+// loops used.
+#ifndef GEOGOSSIP_EXP_RUNNER_HPP
+#define GEOGOSSIP_EXP_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "sim/metrics.hpp"
+
+namespace geogossip::exp {
+
+/// Outcome of one (cell, replicate) trial.
+struct ReplicateResult {
+  std::uint64_t seed = 0;
+  bool converged = false;
+  double final_error = 1.0;
+  /// Conservation check |sum x(end) - sum x(0)|.
+  double sum_drift = 0.0;
+  sim::TxSnapshot transmissions;
+  /// Long-range / near exchange counts (decentralized protocol only).
+  std::uint64_t far_exchanges = 0;
+  std::uint64_t near_exchanges = 0;
+};
+
+/// Aggregate over the replicates of one cell.  Transmission quantiles and
+/// category shares are computed over the converged replicates only.
+struct CellSummary {
+  Cell cell;
+  std::size_t cell_index = 0;
+  std::uint32_t replicates = 0;
+  std::uint32_t converged = 0;
+  double converged_fraction = 0.0;
+  double median_tx = 0.0;
+  double q25_tx = 0.0;
+  double q75_tx = 0.0;
+  double mean_local_share = 0.0;
+  double mean_long_range_share = 0.0;
+  double mean_control_share = 0.0;
+  /// Mean far/near exchange ratio (decentralized cells; 0 otherwise).
+  double mean_far_near_ratio = 0.0;
+  /// Per-replicate outcomes, kept when RunnerOptions::keep_replicates.
+  std::vector<ReplicateResult> raw;
+};
+
+struct SweepSummary {
+  std::string scenario;
+  std::uint32_t replicates = 0;
+  std::uint64_t master_seed = 0;
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+  std::vector<CellSummary> cells;
+};
+
+struct RunnerOptions {
+  /// Worker count; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Keep per-replicate results in CellSummary::raw.
+  bool keep_replicates = false;
+  /// Called after each replicate finishes (serialized across workers).
+  std::function<void(const Cell&, const ReplicateResult&)> progress;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  const RunnerOptions& options() const noexcept { return options_; }
+
+  /// Runs every (cell, replicate) of `scenario` and aggregates per cell.
+  SweepSummary run(const Scenario& scenario) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+/// Runs a single replicate: samples the graph and the initial field from a
+/// fresh Rng(seed), centres/normalizes, and executes the cell's protocol.
+/// Exposed for tests and custom drivers.
+ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed);
+
+/// Standard console rendering: one table row per cell (median/quartile
+/// transmissions, per-node cost, category shares, convergence), plus the
+/// far/near column when any cell exercised the decentralized protocol.
+void print_summary(std::ostream& out, const SweepSummary& summary);
+
+}  // namespace geogossip::exp
+
+#endif  // GEOGOSSIP_EXP_RUNNER_HPP

@@ -1,0 +1,117 @@
+// Scenario model for the experiment-orchestration subsystem.
+//
+// A Scenario names a replicated sweep: a list of cells (protocol kind ×
+// size × configuration × radius policy × initial field) plus a replicate
+// count and a master seed.  Replicate k of cell c always draws the seed
+// replicate_seed(master, c, k), which depends only on those three integers —
+// never on thread interleaving — so a scenario is reproducible bit-for-bit
+// at any worker count.  The process-wide ScenarioRegistry maps names to
+// factories so drivers, examples and tests can share definitions.
+#ifndef GEOGOSSIP_EXP_SCENARIO_HPP
+#define GEOGOSSIP_EXP_SCENARIO_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/convergence.hpp"
+
+namespace geogossip::exp {
+
+/// Initial field x(0) drawn fresh for each replicate (centred and
+/// normalized by the runner before the trial starts).
+enum class CellField {
+  kSpikedGaussian,  ///< i.i.d. gaussians + a sqrt(n) spike at a random node
+  kGaussian,        ///< i.i.d. standard normals
+  kSpike,           ///< single spike (hardest case for local protocols)
+  kGradient,        ///< x + y of the node position
+  kCheckerboard,    ///< +-1 by spatial parity
+};
+
+std::string_view cell_field_name(CellField field) noexcept;
+
+/// Sentinel for Cell::seed_stream: derive the stream from the cell's index.
+inline constexpr std::size_t kAutoSeedStream =
+    static_cast<std::size_t>(-1);
+
+/// One sweep cell: a protocol configuration evaluated at one deployment
+/// size.  `replicates` fresh (graph, field) pairs are run per cell.
+struct Cell {
+  std::string label;  ///< row label in tables/sinks; defaults to kind name
+  core::ProtocolKind kind = core::ProtocolKind::kBoydPairwise;
+  std::size_t n = 0;
+  double radius_multiplier = 1.2;  ///< r = mult * sqrt(log n / n)
+  CellField field = CellField::kSpikedGaussian;
+  core::TrialOptions options;
+  /// Seed-stream id; kAutoSeedStream uses the cell's index (independent
+  /// draws per cell).  Give several cells the same id for a PAIRED
+  /// comparison: replicate k then samples the identical (graph, field) in
+  /// each of them, isolating the configuration difference.
+  std::size_t seed_stream = kAutoSeedStream;
+};
+
+/// A named, replicated experiment over a list of cells.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::uint32_t replicates = 4;
+  std::uint64_t master_seed = 1;
+  /// Deque, not vector: add() hands out references into the container,
+  /// and deque growth never invalidates references to existing elements.
+  std::deque<Cell> cells;
+
+  /// Appends a cell labelled with the protocol kind name.
+  Cell& add(core::ProtocolKind kind, std::size_t n);
+  /// Appends a cell with an explicit row label.
+  Cell& add(std::string label, core::ProtocolKind kind, std::size_t n);
+};
+
+/// Deterministic seed-stream: the seed for replicate `replicate` of the
+/// cell at `cell_index`.  Pure function of its arguments (SplitMix64
+/// chaining via derive_seed), so results are independent of scheduling.
+std::uint64_t replicate_seed(std::uint64_t master_seed,
+                             std::size_t cell_index,
+                             std::uint32_t replicate) noexcept;
+
+/// Builds the common sweep shape: one cell per size, shared kind/options.
+Scenario make_protocol_sweep(std::string name, core::ProtocolKind kind,
+                             const std::vector<std::size_t>& sizes,
+                             std::uint32_t replicates,
+                             std::uint64_t master_seed,
+                             double radius_multiplier = 1.2,
+                             const core::TrialOptions& options = {});
+
+/// Process-wide map from scenario name to factory.  Factories rebuild the
+/// scenario on every make() so callers can mutate the result freely.
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<Scenario()>;
+
+  static ScenarioRegistry& instance();
+
+  /// Registers (or replaces) a named factory.
+  void add(const std::string& name, Factory factory);
+  bool contains(const std::string& name) const;
+  /// Builds the named scenario; throws ArgumentError on unknown names.
+  Scenario make(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers the built-in demo scenarios ("e5-quick", "e10-ablation-quick",
+/// "e11-decentralized-quick") — small versions of the ported benches, used
+/// by examples/parallel_sweep and the tests.  Idempotent.
+void register_builtin_scenarios();
+
+}  // namespace geogossip::exp
+
+#endif  // GEOGOSSIP_EXP_SCENARIO_HPP

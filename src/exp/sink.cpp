@@ -1,0 +1,146 @@
+#include "exp/sink.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace geogossip::exp {
+
+namespace {
+
+const std::vector<std::string>& csv_columns() {
+  static const std::vector<std::string> columns{
+      "scenario",        "cell",
+      "protocol",        "n",
+      "radius_mult",     "field",
+      "replicates",      "converged",
+      "converged_fraction", "median_tx",
+      "q25_tx",          "q75_tx",
+      "local_share",     "long_range_share",
+      "control_share",   "far_near_ratio",
+      "master_seed",     "threads"};
+  return columns;
+}
+
+/// Shortest round-trip double formatting (JSON has no Inf/NaN; the sinks
+/// only ever see finite aggregates).
+std::string format_double(double value) {
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+  return os.str();
+}
+
+}  // namespace
+
+CsvSink::CsvSink(const std::string& path) : writer_(path) {}
+
+CsvSink::CsvSink(std::ostream& out) : writer_(out) {}
+
+void CsvSink::write(const SweepSummary& summary) {
+  if (!header_written_) {
+    writer_.header(csv_columns());
+    header_written_ = true;
+  }
+  for (const auto& cs : summary.cells) {
+    writer_.field(summary.scenario)
+        .field(cs.cell.label)
+        .field(std::string(core::protocol_kind_name(cs.cell.kind)))
+        .field(static_cast<std::uint64_t>(cs.cell.n))
+        .field(cs.cell.radius_multiplier)
+        .field(std::string(cell_field_name(cs.cell.field)))
+        .field(static_cast<std::uint64_t>(cs.replicates))
+        .field(static_cast<std::uint64_t>(cs.converged))
+        .field(cs.converged_fraction)
+        .field(cs.median_tx)
+        .field(cs.q25_tx)
+        .field(cs.q75_tx)
+        .field(cs.mean_local_share)
+        .field(cs.mean_long_range_share)
+        .field(cs.mean_control_share)
+        .field(cs.mean_far_near_ratio)
+        .field(summary.master_seed)
+        .field(static_cast<std::uint64_t>(summary.threads));
+    writer_.end_row();
+  }
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      out_(owned_.get()) {
+  GG_CHECK_ARG(owned_->is_open(),
+               "JsonLinesSink: cannot open '" + path + "'");
+}
+
+JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(&out) {}
+
+void JsonLinesSink::write(const SweepSummary& summary) {
+  for (const auto& cs : summary.cells) {
+    std::ostream& out = *out_;
+    out << "{\"scenario\":\"" << json_escape(summary.scenario) << "\""
+        << ",\"cell\":\"" << json_escape(cs.cell.label) << "\""
+        << ",\"protocol\":\""
+        << json_escape(std::string(core::protocol_kind_name(cs.cell.kind)))
+        << "\""
+        << ",\"n\":" << cs.cell.n
+        << ",\"radius_mult\":" << format_double(cs.cell.radius_multiplier)
+        << ",\"field\":\"" << cell_field_name(cs.cell.field) << "\""
+        << ",\"replicates\":" << cs.replicates
+        << ",\"converged\":" << cs.converged
+        << ",\"converged_fraction\":"
+        << format_double(cs.converged_fraction)
+        << ",\"median_tx\":" << format_double(cs.median_tx)
+        << ",\"q25_tx\":" << format_double(cs.q25_tx)
+        << ",\"q75_tx\":" << format_double(cs.q75_tx)
+        << ",\"local_share\":" << format_double(cs.mean_local_share)
+        << ",\"long_range_share\":"
+        << format_double(cs.mean_long_range_share)
+        << ",\"control_share\":" << format_double(cs.mean_control_share)
+        << ",\"far_near_ratio\":" << format_double(cs.mean_far_near_ratio)
+        << ",\"master_seed\":" << summary.master_seed
+        << ",\"threads\":" << summary.threads << "}\n";
+  }
+  out_->flush();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace geogossip::exp

@@ -1,0 +1,66 @@
+// Result sinks: uniform machine-readable emission of sweep summaries.
+//
+// Every ported bench funnels its per-cell aggregates through a Sink instead
+// of hand-rolling CSV columns.  CsvSink writes one RFC-4180 row per cell
+// (via support/csv.hpp); JsonLinesSink writes one JSON object per cell.
+// Both embed the scenario metadata (name, master seed, replicate count) in
+// every row so concatenated outputs from different sweeps stay
+// self-describing.
+#ifndef GEOGOSSIP_EXP_SINK_HPP
+#define GEOGOSSIP_EXP_SINK_HPP
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "support/csv.hpp"
+
+namespace geogossip::exp {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Appends every cell of `summary`.  May be called multiple times; the
+  /// header (CSV) is emitted once.
+  virtual void write(const SweepSummary& summary) = 0;
+};
+
+/// Column order: scenario, cell, protocol, n, radius_mult, field,
+/// replicates, converged, converged_fraction, median_tx, q25_tx, q75_tx,
+/// local_share, long_range_share, control_share, far_near_ratio,
+/// master_seed, threads.
+class CsvSink final : public Sink {
+ public:
+  explicit CsvSink(const std::string& path);
+  explicit CsvSink(std::ostream& out);
+
+  void write(const SweepSummary& summary) override;
+
+ private:
+  CsvWriter writer_;
+  bool header_written_ = false;
+};
+
+/// One JSON object per line per cell (JSON Lines / ndjson).
+class JsonLinesSink final : public Sink {
+ public:
+  /// Opens (truncates) `path`; throws ArgumentError if it cannot be opened.
+  explicit JsonLinesSink(const std::string& path);
+  explicit JsonLinesSink(std::ostream& out);
+
+  void write(const SweepSummary& summary) override;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+};
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace geogossip::exp
+
+#endif  // GEOGOSSIP_EXP_SINK_HPP

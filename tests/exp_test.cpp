@@ -1,0 +1,287 @@
+// Tests for the experiment-orchestration subsystem (src/exp/): the
+// work-stealing thread pool, the deterministic replicate seed-stream, the
+// parallel runner's aggregation, the scenario registry, and the sinks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sink.hpp"
+#include "exp/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::exp {
+namespace {
+
+// ----------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 257;  // deliberately not a worker multiple
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.run(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(16,
+               [&](std::size_t i) {
+                 if (i == 7) throw std::runtime_error("boom");
+                 completed.fetch_add(1);
+               }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);  // the batch still drains
+}
+
+TEST(ThreadPool, SingleWorkerHasTheSameExceptionContract) {
+  ThreadPool pool(1);
+  int completed = 0;
+  EXPECT_THROW(
+      pool.run(16,
+               [&](std::size_t i) {
+                 if (i == 7) throw std::runtime_error("boom");
+                 ++completed;
+               }),
+      std::runtime_error);
+  EXPECT_EQ(completed, 15);  // inline path drains the batch too
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(4);
+  pool.run(0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+// ----------------------------------------------------------- seed-stream ----
+
+TEST(SeedStream, IsAPureFunctionOfItsIndices) {
+  EXPECT_EQ(replicate_seed(1, 0, 0), replicate_seed(1, 0, 0));
+  EXPECT_NE(replicate_seed(1, 0, 0), replicate_seed(1, 0, 1));
+  EXPECT_NE(replicate_seed(1, 0, 0), replicate_seed(1, 1, 0));
+  EXPECT_NE(replicate_seed(1, 0, 0), replicate_seed(2, 0, 0));
+}
+
+TEST(SeedStream, NearbyIndicesDecorrelate) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t cell = 0; cell < 16; ++cell) {
+    for (std::uint32_t rep = 0; rep < 16; ++rep) {
+      seeds.insert(replicate_seed(42, cell, rep));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 16u * 16u);
+}
+
+// -------------------------------------------------------------- scenario ----
+
+Scenario tiny_scenario(std::uint32_t replicates) {
+  Scenario scenario;
+  scenario.name = "tiny";
+  scenario.replicates = replicates;
+  scenario.master_seed = 7;
+  for (const std::size_t n : {64, 96, 128}) {
+    auto& cell = scenario.add(core::ProtocolKind::kBoydPairwise, n);
+    cell.options.eps = 1e-2;
+  }
+  auto& dimakis = scenario.add(core::ProtocolKind::kDimakisGeographic, 64);
+  dimakis.options.eps = 1e-2;
+  return scenario;
+}
+
+TEST(Scenario, AddLabelsCellsWithKindName) {
+  const auto scenario = tiny_scenario(2);
+  EXPECT_EQ(scenario.cells[0].label, "boyd");
+  EXPECT_EQ(scenario.cells[3].label, "dimakis");
+}
+
+TEST(Scenario, MakeProtocolSweepBuildsOneCellPerSize) {
+  const auto sweep = make_protocol_sweep(
+      "sweep", core::ProtocolKind::kDimakisGeographic, {64, 128, 256}, 5,
+      11, 1.4);
+  EXPECT_EQ(sweep.cells.size(), 3u);
+  EXPECT_EQ(sweep.replicates, 5u);
+  EXPECT_EQ(sweep.cells[1].n, 128u);
+  EXPECT_DOUBLE_EQ(sweep.cells[2].radius_multiplier, 1.4);
+}
+
+TEST(ScenarioRegistry, BuiltinsRegisterAndUnknownNamesThrow) {
+  register_builtin_scenarios();
+  auto& registry = ScenarioRegistry::instance();
+  EXPECT_TRUE(registry.contains("e5-quick"));
+  const auto scenario = registry.make("e5-quick");
+  EXPECT_FALSE(scenario.cells.empty());
+  EXPECT_THROW(registry.make("no-such-scenario"), ArgumentError);
+}
+
+// ---------------------------------------------------------------- runner ----
+
+TEST(Runner, AggregatesExpectedReplicateCountPerCell) {
+  constexpr std::uint32_t kReplicates = 5;
+  RunnerOptions options;
+  options.threads = 2;
+  options.keep_replicates = true;
+  const auto summary =
+      Runner(options).run(tiny_scenario(kReplicates));
+
+  ASSERT_EQ(summary.cells.size(), 4u);
+  EXPECT_EQ(summary.replicates, kReplicates);
+  for (const auto& cs : summary.cells) {
+    EXPECT_EQ(cs.replicates, kReplicates);
+    EXPECT_EQ(cs.raw.size(), kReplicates);
+    EXPECT_LE(cs.converged, kReplicates);
+    EXPECT_DOUBLE_EQ(
+        cs.converged_fraction,
+        static_cast<double>(cs.converged) / kReplicates);
+    // Tiny dense deployments at eps=1e-2 must actually average.
+    EXPECT_GT(cs.converged, 0u);
+    for (std::uint32_t r = 0; r < kReplicates; ++r) {
+      EXPECT_EQ(cs.raw[r].seed,
+                replicate_seed(summary.master_seed, cs.cell_index, r));
+    }
+  }
+}
+
+TEST(Runner, ThreadCountDoesNotChangeAggregates) {
+  const auto scenario = tiny_scenario(4);
+
+  RunnerOptions serial;
+  serial.threads = 1;
+  const auto one = Runner(serial).run(scenario);
+
+  RunnerOptions parallel;
+  parallel.threads = 4;
+  const auto four = Runner(parallel).run(scenario);
+
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    const auto& a = one.cells[i];
+    const auto& b = four.cells[i];
+    EXPECT_EQ(a.converged, b.converged);
+    // Bit-identical, not approximately equal: the seed-stream plus
+    // index-ordered aggregation make thread count irrelevant.
+    EXPECT_EQ(a.median_tx, b.median_tx);
+    EXPECT_EQ(a.q25_tx, b.q25_tx);
+    EXPECT_EQ(a.q75_tx, b.q75_tx);
+    EXPECT_EQ(a.mean_local_share, b.mean_local_share);
+    EXPECT_EQ(a.mean_long_range_share, b.mean_long_range_share);
+    EXPECT_EQ(a.mean_control_share, b.mean_control_share);
+  }
+}
+
+TEST(Runner, SharedSeedStreamGivesPairedDraws) {
+  // Two cells with the same protocol/size and the same pinned seed_stream
+  // must produce bit-identical replicate outcomes (identical graph, field
+  // and protocol randomness); an auto-stream cell must not.
+  Scenario scenario;
+  scenario.name = "paired";
+  scenario.replicates = 3;
+  scenario.master_seed = 21;
+  for (int i = 0; i < 3; ++i) {
+    auto& cell = scenario.add(core::ProtocolKind::kBoydPairwise, 64);
+    cell.options.eps = 1e-2;
+    if (i < 2) cell.seed_stream = 0;
+  }
+
+  RunnerOptions options;
+  options.threads = 2;
+  options.keep_replicates = true;
+  const auto summary = Runner(options).run(scenario);
+  ASSERT_EQ(summary.cells.size(), 3u);
+  for (std::uint32_t r = 0; r < scenario.replicates; ++r) {
+    EXPECT_EQ(summary.cells[0].raw[r].seed, summary.cells[1].raw[r].seed);
+    EXPECT_EQ(summary.cells[0].raw[r].transmissions.total(),
+              summary.cells[1].raw[r].transmissions.total());
+    EXPECT_NE(summary.cells[0].raw[r].seed, summary.cells[2].raw[r].seed);
+  }
+  EXPECT_EQ(summary.cells[0].median_tx, summary.cells[1].median_tx);
+}
+
+TEST(Runner, RunReplicateMatchesRunnerRaw) {
+  const auto scenario = tiny_scenario(2);
+  RunnerOptions options;
+  options.threads = 3;
+  options.keep_replicates = true;
+  const auto summary = Runner(options).run(scenario);
+  const auto direct = run_replicate(
+      scenario.cells[1], replicate_seed(scenario.master_seed, 1, 0));
+  const auto& via_runner = summary.cells[1].raw[0];
+  EXPECT_EQ(direct.converged, via_runner.converged);
+  EXPECT_EQ(direct.transmissions.total(), via_runner.transmissions.total());
+  EXPECT_EQ(direct.final_error, via_runner.final_error);
+}
+
+TEST(Runner, ProgressCallbackFiresOncePerReplicate) {
+  const auto scenario = tiny_scenario(3);
+  std::atomic<int> calls{0};
+  RunnerOptions options;
+  options.threads = 2;
+  options.progress = [&](const Cell&, const ReplicateResult&) {
+    calls.fetch_add(1);
+  };
+  Runner(options).run(scenario);
+  EXPECT_EQ(calls.load(),
+            static_cast<int>(scenario.cells.size() * scenario.replicates));
+}
+
+// ----------------------------------------------------------------- sinks ----
+
+TEST(Sinks, CsvSinkWritesHeaderOnceAndOneRowPerCell) {
+  const auto scenario = tiny_scenario(2);
+  RunnerOptions options;
+  options.threads = 2;
+  const auto summary = Runner(options).run(scenario);
+
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.write(summary);
+  sink.write(summary);  // appending must not repeat the header
+
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 1 + 2 * summary.cells.size());
+  EXPECT_EQ(text.find("scenario,cell,protocol,n"), 0u);
+  EXPECT_NE(text.find("tiny,boyd,boyd,64"), std::string::npos);
+}
+
+TEST(Sinks, JsonLinesSinkEmitsOneObjectPerCell) {
+  const auto scenario = tiny_scenario(2);
+  RunnerOptions options;
+  options.threads = 2;
+  const auto summary = Runner(options).run(scenario);
+
+  std::ostringstream out;
+  JsonLinesSink(out).write(summary);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, summary.cells.size());
+  EXPECT_NE(text.find("\"scenario\":\"tiny\""), std::string::npos);
+  EXPECT_NE(text.find("\"protocol\":\"dimakis\""), std::string::npos);
+}
+
+TEST(Sinks, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace geogossip::exp

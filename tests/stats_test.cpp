@@ -326,7 +326,9 @@ TEST_P(WelfordProperty, AgreesWithTwoPass) {
     stat.push(v);
   }
   EXPECT_NEAR(stat.mean(), mean_of(data), 1e-9);
-  if (n >= 2) EXPECT_NEAR(stat.variance(), variance_of(data), 1e-7);
+  if (n >= 2) {
+    EXPECT_NEAR(stat.variance(), variance_of(data), 1e-7);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, WelfordProperty,
