@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
   parser.add_flag("csv", &csv_path, "also write results to this CSV file");
   parser.add_flag("json", &json_path,
                   "also write results to this JSON-lines file");
-  if (!parser.parse(argc, argv)) return 0;
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
 
   const auto nn = static_cast<std::size_t>(n);
   std::cout << "=== E11: decentralized affine gossip at n="
@@ -90,13 +91,12 @@ int main(int argc, char** argv) {
   }
 
   gg::exp::RunnerOptions runner_options;
-  runner_options.threads = static_cast<unsigned>(threads);
+  runner_options.threads = gg::exp::checked_threads(threads);
   const gg::exp::Runner runner(runner_options);
   const auto summary = runner.run(scenario);
 
   gg::exp::print_summary(std::cout, summary);
-  if (!csv_path.empty()) gg::exp::CsvSink(csv_path).write(summary);
-  if (!json_path.empty()) gg::exp::JsonLinesSink(json_path).write(summary);
+  gg::exp::write_sinks(summary, csv_path, json_path);
 
   std::cout << "\ncentralized spanning-tree floor: "
             << gg::format_count(gg::gossip::spanning_tree_floor(nn))

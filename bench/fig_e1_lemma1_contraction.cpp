@@ -1,17 +1,21 @@
 // E1: Lemma 1 — E||x(t)||^2 < (1 - 1/(2n))^t ||x(0)||^2 on K_n with
 // mirrored affine coefficients alpha_i ~ U(1/3, 1/2).
 //
-// Prints the simulated mean-square trajectory against the bound for several
-// n and alpha modes, plus the fitted per-step contraction rate, and renders
-// a log-scale chart.  The paper's rate is an upper bound; the measured rate
-// should sit at or below it with the same 1 - Theta(1/n) shape.
+// One Scenario cell per (n, alpha mode, horizon), run by the parallel
+// exp::Runner; horizon cells of a configuration share a seed stream, so
+// the mean-||x(t)||^2 column really is one trajectory ensemble sampled at
+// five depths.  Prints the trajectory against the bound, the fitted
+// per-step contraction rate, and a log-scale chart of the first size.
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "core/complete_graph_model.hpp"
+#include "exp/probes.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "stats/regression.hpp"
 #include "support/cli.hpp"
-#include "support/csv.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -21,70 +25,67 @@ using gg::core::AlphaMode;
 int main(int argc, char** argv) {
   std::int64_t trials = 96;
   std::int64_t seed = 11;
+  std::int64_t threads = 0;
   std::string sizes = "32,128,512";
   std::string csv_path;
+  std::string json_path;
 
   gg::ArgParser parser("fig_e1_lemma1_contraction",
                        "E1: Lemma 1 contraction on the complete graph");
   parser.add_flag("trials", &trials, "independent runs per configuration");
   parser.add_flag("seed", &seed, "master seed");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write the series to a CSV file");
-  if (!parser.parse(argc, argv)) return 0;
+  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
+  parser.add_flag("json", &json_path,
+                  "also write per-cell results to a JSON-lines file");
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+
+  std::vector<std::size_t> ns;
+  for (const auto& size_text : gg::split(sizes, ',')) {
+    ns.push_back(static_cast<std::size_t>(gg::parse_int(size_text)));
+  }
 
   std::cout << "=== E1: Lemma 1 — mean ||x(t)||^2 vs (1-1/2n)^t bound ===\n\n";
 
-  std::unique_ptr<gg::CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<gg::CsvWriter>(csv_path);
-    csv->header({"n", "alpha_mode", "t", "mean_norm_sq", "bound"});
-  }
+  const auto scenario = gg::exp::make_e1_contraction(
+      ns, static_cast<std::uint32_t>(trials),
+      static_cast<std::uint64_t>(seed));
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = gg::exp::checked_threads(threads);
+  const auto summary = gg::exp::Runner(runner_options).run(scenario);
 
-  for (const auto& size_text : gg::split(sizes, ',')) {
-    const auto n = static_cast<std::size_t>(gg::parse_int(size_text));
-    // Zero-sum worst-ish start: antipodal spike pair, ||x0||^2 = 2.
-    std::vector<double> x0(n, 0.0);
-    x0[0] = 1.0;
-    x0[1] = -1.0;
-    const std::uint64_t steps = 10 * n;
-    const std::uint64_t sample_every = n;
-
+  // Re-group the flat cell list into (n, mode) trajectories.
+  for (const std::size_t n : ns) {
     for (const auto mode : {AlphaMode::kPaperFixed, AlphaMode::kConvexHalf,
                             AlphaMode::kEndpointThird}) {
-      gg::core::CompleteGraphConfig config;
-      config.n = n;
-      config.alpha_mode = mode;
-      const auto trajectory = gg::core::mean_norm_trajectory(
-          config, x0, steps, sample_every,
-          static_cast<std::uint32_t>(trials),
-          static_cast<std::uint64_t>(seed));
-
       gg::ConsoleTable table({"t", "mean ||x||^2", "bound", "ratio"});
       std::vector<double> ts;
       std::vector<double> values;
-      for (const auto& [t, norm_sq] : trajectory) {
-        const double bound = 2.0 * gg::core::lemma1_bound(n, t);
-        table.cell(static_cast<std::uint64_t>(t))
+      for (const auto& cs : summary.cells) {
+        if (cs.cell.n != n) continue;
+        if (static_cast<AlphaMode>(static_cast<int>(
+                cs.cell.param("alpha_mode"))) != mode) {
+          continue;
+        }
+        const auto t = static_cast<std::uint64_t>(cs.cell.param("t"));
+        const double norm_sq = cs.metric_mean("norm_sq");
+        const double bound = cs.metric_mean("bound");
+        table.cell(t)
             .cell(gg::format_sci(norm_sq, 3))
             .cell(gg::format_sci(bound, 3))
             .cell(gg::format_fixed(norm_sq / bound, 3));
         table.end_row();
-        if (csv) {
-          csv->field(static_cast<std::uint64_t>(n))
-              .field(std::string(gg::core::alpha_mode_name(mode)))
-              .field(t)
-              .field(norm_sq)
-              .field(bound);
-          csv->end_row();
-        }
         if (norm_sq > 0.0) {
           ts.push_back(static_cast<double>(t));
           values.push_back(norm_sq);
         }
       }
 
-      std::cout << "--- n=" << n << ", alpha=" <<
-          gg::core::alpha_mode_name(mode) << " ---\n";
+      std::cout << "--- n=" << n << ", alpha="
+                << gg::core::alpha_mode_name(mode) << " ---\n";
       table.print(std::cout);
       if (ts.size() >= 3) {
         const auto fit = gg::stats::fit_exponential(ts, values);
@@ -99,29 +100,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Chart for the middle size, paper mode vs bound.
-  const auto n = static_cast<std::size_t>(
-      gg::parse_int(gg::split(sizes, ',')[0]));
-  std::vector<double> x0(n, 0.0);
-  x0[0] = 1.0;
-  x0[1] = -1.0;
-  gg::core::CompleteGraphConfig config;
-  config.n = n;
-  const auto trajectory = gg::core::mean_norm_trajectory(
-      config, x0, 10 * n, n, static_cast<std::uint32_t>(trials),
-      static_cast<std::uint64_t>(seed));
+  gg::exp::write_sinks(summary, csv_path, json_path);
+
+  // Chart for the first size, paper mode vs bound — straight off the
+  // aggregated horizon cells.
+  const std::size_t chart_n = ns.front();
   gg::AsciiChart::Options chart_options;
   chart_options.log_y = true;
   gg::AsciiChart chart(chart_options);
   std::vector<double> ts;
   std::vector<double> sim;
   std::vector<double> bound;
-  for (const auto& [t, norm_sq] : trajectory) {
-    ts.push_back(static_cast<double>(t));
-    sim.push_back(norm_sq);
-    bound.push_back(2.0 * gg::core::lemma1_bound(n, t));
+  for (const auto& cs : summary.cells) {
+    if (cs.cell.n != chart_n) continue;
+    if (static_cast<AlphaMode>(static_cast<int>(
+            cs.cell.param("alpha_mode"))) != AlphaMode::kPaperFixed) {
+      continue;
+    }
+    ts.push_back(cs.cell.param("t"));
+    sim.push_back(cs.metric_mean("norm_sq"));
+    bound.push_back(cs.metric_mean("bound"));
   }
-  chart.add_series("simulated mean ||x(t)||^2 (n=" + std::to_string(n) + ")",
+  chart.add_series("simulated mean ||x(t)||^2 (n=" +
+                       std::to_string(chart_n) + ")",
                    '*', ts, sim);
   chart.add_series("lemma 1 bound", '-', ts, bound);
   chart.print(std::cout);

@@ -1,16 +1,21 @@
 // E2: Corollary 1/2 — P(||x(t)|| > eps ||x(0)||) <= eps^-2 (1 - 1/(2n))^t.
 //
 // Empirical tail frequencies vs. the Markov bound over a grid of (t, eps).
-// The bound is loose (Markov), so the measured tail should sit clearly
-// below it everywhere; both must decay with t.
+// The grid is one Scenario (every cell pinned to seed stream 0, so all eps
+// thresholds read the same trajectory batch) run by the parallel
+// exp::Runner; the per-trial `exceed` indicator aggregates to the
+// empirical tail.  The bound is loose (Markov), so the measured tail
+// should sit clearly below it everywhere; both must decay with t.
 #include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "core/complete_graph_model.hpp"
+#include "exp/probes.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "stats/confidence.hpp"
 #include "support/cli.hpp"
-#include "support/csv.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -20,17 +25,24 @@ int main(int argc, char** argv) {
   std::int64_t n = 256;
   std::int64_t trials = 600;
   std::int64_t seed = 21;
+  std::int64_t threads = 0;
   std::string epsilons = "0.5,0.3,0.1";
   std::string csv_path;
+  std::string json_path;
 
   gg::ArgParser parser("fig_e2_tail_bound",
                        "E2: Corollary 1 tail probability vs Markov bound");
   parser.add_flag("n", &n, "complete-graph size");
   parser.add_flag("trials", &trials, "independent runs per t");
   parser.add_flag("seed", &seed, "master seed");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("epsilons", &epsilons, "comma-separated eps thresholds");
-  parser.add_flag("csv", &csv_path, "also write results to a CSV file");
-  if (!parser.parse(argc, argv)) return 0;
+  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
+  parser.add_flag("json", &json_path,
+                  "also write per-cell results to a JSON-lines file");
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
 
   const auto nn = static_cast<std::size_t>(n);
   std::vector<double> eps_values;
@@ -41,60 +53,36 @@ int main(int argc, char** argv) {
   std::cout << "=== E2: tail P(||x(t)|| > eps) on K_" << nn << " (trials="
             << trials << ") ===\n\n";
 
-  // Unit-norm zero-sum start.
-  std::vector<double> x0(nn, 0.0);
-  x0[0] = std::sqrt(0.5);
-  x0[1] = -std::sqrt(0.5);
-
-  std::unique_ptr<gg::CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<gg::CsvWriter>(csv_path);
-    csv->header({"t", "eps", "empirical", "empirical_hi95", "bound"});
-  }
+  const auto scenario = gg::exp::make_e2_tail(
+      nn, eps_values, static_cast<std::uint32_t>(trials),
+      static_cast<std::uint64_t>(seed));
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = gg::exp::checked_threads(threads);
+  const auto summary = gg::exp::Runner(runner_options).run(scenario);
 
   gg::ConsoleTable table(
       {"t", "eps", "empirical tail", "95% hi", "Markov bound", "ok"});
-  const std::vector<std::uint64_t> ts{nn, 2 * nn, 4 * nn, 8 * nn, 12 * nn};
-  for (const std::uint64_t t : ts) {
-    // One batch of trials serves every eps at this t.
-    std::vector<double> final_norms;
-    final_norms.reserve(static_cast<std::size_t>(trials));
-    for (std::int64_t trial = 0; trial < trials; ++trial) {
-      gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(seed),
-                                  static_cast<std::uint64_t>(trial) ^
-                                      (t << 20)));
-      gg::core::CompleteGraphConfig config;
-      config.n = nn;
-      gg::core::CompleteGraphModel model(config, x0, rng);
-      model.run(t);
-      final_norms.push_back(model.relative_norm());
-    }
-    for (const double eps : eps_values) {
-      std::uint64_t exceed = 0;
-      for (const double norm : final_norms) {
-        if (norm > eps) ++exceed;
-      }
-      const double empirical =
-          static_cast<double>(exceed) / static_cast<double>(trials);
-      const auto interval = gg::stats::proportion_confidence_interval(
-          exceed, static_cast<std::uint64_t>(trials));
-      const double bound = gg::core::corollary_tail_bound(nn, t, eps);
-      table.cell(t)
-          .cell(gg::format_fixed(eps, 2))
-          .cell(gg::format_fixed(empirical, 4))
-          .cell(gg::format_fixed(interval.hi, 4))
-          .cell(gg::format_fixed(bound, 4))
-          .cell(interval.hi <= bound + 1e-12 ? "yes" : "NO");
-      table.end_row();
-      if (csv) {
-        csv->field(t).field(eps).field(empirical).field(interval.hi)
-            .field(bound);
-        csv->end_row();
-      }
-    }
+  for (const auto& cs : summary.cells) {
+    const auto t = static_cast<std::uint64_t>(cs.cell.param("t"));
+    const double eps = cs.cell.param("eps");
+    const auto& exceed = cs.metrics.at("exceed");
+    const auto exceed_count = static_cast<std::uint64_t>(
+        std::llround(exceed.mean * static_cast<double>(exceed.count)));
+    const auto interval = gg::stats::proportion_confidence_interval(
+        exceed_count, exceed.count);
+    const double bound = cs.metric_mean("bound");
+    table.cell(t)
+        .cell(gg::format_fixed(eps, 2))
+        .cell(gg::format_fixed(exceed.mean, 4))
+        .cell(gg::format_fixed(interval.hi, 4))
+        .cell(gg::format_fixed(bound, 4))
+        .cell(interval.hi <= bound + 1e-12 ? "yes" : "NO");
+    table.end_row();
   }
   table.print(std::cout);
   std::cout << "\n'ok' = the 95% upper confidence limit of the empirical\n"
                "tail sits below the Corollary 1 bound.\n";
+
+  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

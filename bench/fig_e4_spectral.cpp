@@ -1,13 +1,18 @@
 // E4: the closed-form E[A^T A] and its zero-sum contraction factor
 // lambda_max(P E[A^T A] P) vs Lemma 1's explicit proof bound
 // 1 - 8/(9(n-1)) and the stated 1 - 1/(2n).
+//
+// One Scenario cell per (n, alpha family) run by the parallel exp::Runner;
+// the paper family redraws its alphas every replicate, so the lambda
+// column is a mean over coefficient draws.
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "core/affine.hpp"
-#include "core/expected_contraction.hpp"
+#include "exp/probes.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "support/cli.hpp"
-#include "support/csv.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -16,72 +21,59 @@ namespace gg = geogossip;
 int main(int argc, char** argv) {
   std::int64_t seed = 41;
   std::int64_t iterations = 800;
+  std::int64_t replicates = 3;
+  std::int64_t threads = 0;
   std::string sizes = "8,16,32,64,128,256,512";
   std::string csv_path;
+  std::string json_path;
 
   gg::ArgParser parser("fig_e4_spectral",
                        "E4: contraction spectrum of E[A^T A]");
   parser.add_flag("seed", &seed, "master seed");
   parser.add_flag("iterations", &iterations, "power-iteration steps");
+  parser.add_flag("replicates", &replicates,
+                  "coefficient draws per (n, family)");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write results to a CSV file");
-  if (!parser.parse(argc, argv)) return 0;
+  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
+  parser.add_flag("json", &json_path,
+                  "also write per-cell results to a JSON-lines file");
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+
+  std::vector<std::size_t> ns;
+  for (const auto& size_text : gg::split(sizes, ',')) {
+    ns.push_back(static_cast<std::size_t>(gg::parse_int(size_text)));
+  }
 
   std::cout << "=== E4: lambda_max of E[A^T A] on the zero-sum subspace ===\n\n";
 
-  std::unique_ptr<gg::CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<gg::CsvWriter>(csv_path);
-    csv->header({"n", "alpha", "lambda", "proof_bound", "stated_bound"});
-  }
+  const auto scenario = gg::exp::make_e4_spectral(
+      ns, static_cast<std::uint32_t>(iterations),
+      static_cast<std::uint32_t>(replicates),
+      static_cast<std::uint64_t>(seed));
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = gg::exp::checked_threads(threads);
+  const auto summary = gg::exp::Runner(runner_options).run(scenario);
 
   gg::ConsoleTable table({"n", "alpha family", "lambda_max",
                           "1-8/(9(n-1))", "1-1/(2n)", "gap*n"});
   table.set_alignment(1, gg::Align::kLeft);
-
-  for (const auto& size_text : gg::split(sizes, ',')) {
-    const auto n = static_cast<std::size_t>(gg::parse_int(size_text));
-    gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(seed), n));
-
-    struct Family {
-      std::string name;
-      std::vector<double> alphas;
-    };
-    std::vector<Family> families;
-    {
-      std::vector<double> paper(n);
-      for (auto& alpha : paper) alpha = gg::core::draw_alpha(rng);
-      families.push_back({"U(1/3,1/2) (paper)", std::move(paper)});
-      families.push_back({"1/2 (convex)", std::vector<double>(n, 0.5)});
-      families.push_back(
-          {"1/3+ (endpoint)", std::vector<double>(n, 1.0 / 3.0 + 1e-9)});
-    }
-
-    for (const auto& family : families) {
-      const auto gram = gg::core::expected_update_gram(family.alphas);
-      const double lambda = gg::core::contraction_factor_zero_sum(
-          gram, static_cast<std::uint32_t>(iterations), rng);
-      const double proof = gg::core::lemma1_explicit_bound(n);
-      const double stated = 1.0 - 1.0 / (2.0 * static_cast<double>(n));
-      table.cell(static_cast<std::uint64_t>(n))
-          .cell(family.name)
-          .cell(gg::format_fixed(lambda, 6))
-          .cell(gg::format_fixed(proof, 6))
-          .cell(gg::format_fixed(stated, 6))
-          .cell(gg::format_fixed((1.0 - lambda) * static_cast<double>(n), 3));
-      table.end_row();
-      if (csv) {
-        csv->field(static_cast<std::uint64_t>(n))
-            .field(family.name)
-            .field(lambda)
-            .field(proof)
-            .field(stated);
-        csv->end_row();
-      }
-    }
+  for (const auto& cs : summary.cells) {
+    const double lambda = cs.metric_mean("lambda");
+    table.cell(static_cast<std::uint64_t>(cs.cell.n))
+        .cell(cs.cell.label)
+        .cell(gg::format_fixed(lambda, 6))
+        .cell(gg::format_fixed(cs.metric_mean("proof_bound"), 6))
+        .cell(gg::format_fixed(cs.metric_mean("stated_bound"), 6))
+        .cell(gg::format_fixed(cs.metric_mean("gap_times_n"), 3));
+    table.end_row();
   }
   table.print(std::cout);
   std::cout << "\n'gap*n' column: (1 - lambda) n — a constant confirms the\n"
                "1 - Theta(1/n) contraction; Lemma 1 promises >= 0.5.\n";
+
+  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

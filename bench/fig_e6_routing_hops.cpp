@@ -1,18 +1,20 @@
 // E6: greedy geographic routing costs O(sqrt(n / log n)) hops w.h.p. —
 // the per-exchange cost term in §3 / Observation 1 (via Dimakis et al.).
 //
-// Sweeps n, measures hop counts over random pairs, fits the power law and
-// compares against the sqrt(n / log n) prediction, and reports delivery
-// rates (greedy dead ends are possible but rare at the paper's radius).
-#include <cmath>
+// One Scenario cell per n run by the parallel exp::Runner; each replicate
+// samples a fresh G(n, r) and routes `pairs` random pairs, so the hop
+// means also average over deployments.  Fits the power law against the
+// sqrt(n / log n) prediction and reports delivery rates (greedy dead ends
+// are possible but rare at the paper's radius).
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "graph/geometric_graph.hpp"
-#include "routing/route_stats.hpp"
+#include "exp/probes.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "stats/regression.hpp"
 #include "support/cli.hpp"
-#include "support/csv.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -21,69 +23,69 @@ namespace gg = geogossip;
 int main(int argc, char** argv) {
   std::int64_t pairs = 2000;
   std::int64_t seed = 51;
+  std::int64_t replicates = 3;
+  std::int64_t threads = 0;
   double radius_multiplier = 1.2;
   std::string sizes = "1024,2048,4096,8192,16384,32768,65536";
   std::string csv_path;
+  std::string json_path;
 
   gg::ArgParser parser("fig_e6_routing_hops",
                        "E6: greedy routing hop scaling");
-  parser.add_flag("pairs", &pairs, "random source/destination pairs per n");
+  parser.add_flag("pairs", &pairs, "random source/destination pairs per graph");
   parser.add_flag("seed", &seed, "master seed");
+  parser.add_flag("replicates", &replicates, "fresh graphs per n");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
   parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write results to a CSV file");
-  if (!parser.parse(argc, argv)) return 0;
+  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
+  parser.add_flag("json", &json_path,
+                  "also write per-cell results to a JSON-lines file");
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+
+  std::vector<std::size_t> ns;
+  for (const auto& size_text : gg::split(sizes, ',')) {
+    ns.push_back(static_cast<std::size_t>(gg::parse_int(size_text)));
+  }
 
   std::cout << "=== E6: greedy geographic routing hops (r = "
             << radius_multiplier << " sqrt(log n / n)) ===\n\n";
 
-  std::unique_ptr<gg::CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<gg::CsvWriter>(csv_path);
-    csv->header({"n", "mean_hops", "max_hops", "stretch", "delivery",
-                 "prediction"});
-  }
+  const auto scenario = gg::exp::make_e6_routing(
+      ns, static_cast<std::uint64_t>(pairs), radius_multiplier,
+      static_cast<std::uint32_t>(replicates),
+      static_cast<std::uint64_t>(seed));
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = gg::exp::checked_threads(threads);
+  const auto summary = gg::exp::Runner(runner_options).run(scenario);
 
   gg::ConsoleTable table({"n", "mean hops", "max", "stretch", "delivery%",
                           "sqrt(n/log n)"});
-  std::vector<double> ns;
+  std::vector<double> xs;
   std::vector<double> mean_hops;
-  for (const auto& size_text : gg::split(sizes, ',')) {
-    const auto n = static_cast<std::size_t>(gg::parse_int(size_text));
-    gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(seed), n));
-    const auto graph =
-        gg::graph::GeometricGraph::sample(n, radius_multiplier, rng);
-    const auto campaign = gg::routing::measure_routes(
-        graph, static_cast<std::uint64_t>(pairs), rng);
-
-    const double prediction =
-        std::sqrt(static_cast<double>(n) / std::log(static_cast<double>(n)));
-    table.cell(gg::format_count(n))
-        .cell(gg::format_fixed(campaign.hops.mean(), 1))
-        .cell(gg::format_fixed(campaign.hops.max(), 0))
-        .cell(gg::format_fixed(campaign.stretch.mean(), 2))
-        .cell(gg::format_fixed(100.0 * campaign.delivery_rate(), 2))
-        .cell(gg::format_fixed(prediction, 1));
+  for (const auto& cs : summary.cells) {
+    const double hops = cs.metric_mean("mean_hops");
+    table.cell(gg::format_count(cs.cell.n))
+        .cell(gg::format_fixed(hops, 1))
+        .cell(gg::format_fixed(cs.metrics.at("max_hops").max, 0))
+        .cell(gg::format_fixed(cs.metric_mean("stretch"), 2))
+        .cell(gg::format_fixed(100.0 * cs.metric_mean("delivery"), 2))
+        .cell(gg::format_fixed(cs.metric_mean("prediction"), 1));
     table.end_row();
-    if (csv) {
-      csv->field(static_cast<std::uint64_t>(n))
-          .field(campaign.hops.mean())
-          .field(campaign.hops.max())
-          .field(campaign.stretch.mean())
-          .field(campaign.delivery_rate())
-          .field(prediction);
-      csv->end_row();
-    }
-    ns.push_back(static_cast<double>(n));
-    mean_hops.push_back(campaign.hops.mean());
+    xs.push_back(static_cast<double>(cs.cell.n));
+    mean_hops.push_back(hops);
   }
   table.print(std::cout);
 
-  if (ns.size() >= 3) {
-    const auto fit = gg::stats::fit_power_law(ns, mean_hops);
+  if (xs.size() >= 3) {
+    const auto fit = gg::stats::fit_power_law(xs, mean_hops);
     std::cout << "\nfitted: hops " << fit.to_string()
               << "\nexpected exponent ~0.5 minus the log n correction "
                  "(sqrt(n / log n)).\n";
   }
+
+  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

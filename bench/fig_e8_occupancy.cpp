@@ -2,20 +2,21 @@
 // squares, every square holds (1 +- 1/10) sqrt(n) sensors w.h.p., which is
 // what places the effective alphas inside (1/3, 1/2).
 //
-// Measures the worst relative occupancy deviation across the partition, the
-// fraction of trials where ALL squares are within 10%, the implied alpha
-// range under beta = (2/5) E#, and the Chernoff union-bound prediction.
-#include <algorithm>
+// One Scenario cell per n run by the parallel exp::Runner.  Per replicate
+// the probe measures the worst relative occupancy deviation across the
+// partition, whether ALL squares are within 10%, and the implied alpha
+// range under beta = (2/5) E#; the Chernoff union-bound prediction rides
+// along as a constant metric.
 #include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "core/affine.hpp"
 #include "geometry/grid.hpp"
-#include "geometry/sampling.hpp"
-#include "stats/chernoff.hpp"
+#include "exp/probes.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "support/cli.hpp"
-#include "support/csv.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -24,98 +25,62 @@ namespace gg = geogossip;
 int main(int argc, char** argv) {
   std::int64_t trials = 200;
   std::int64_t seed = 71;
+  std::int64_t threads = 0;
   std::string sizes = "1024,4096,16384,65536,262144,1048576";
   std::string csv_path;
+  std::string json_path;
 
   gg::ArgParser parser("fig_e8_occupancy",
                        "E8: occupancy concentration across the partition");
   parser.add_flag("trials", &trials, "deployments per n");
   parser.add_flag("seed", &seed, "master seed");
+  parser.add_flag("threads", &threads,
+                  "worker threads (0 = hardware concurrency)");
   parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write results to a CSV file");
-  if (!parser.parse(argc, argv)) return 0;
+  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
+  parser.add_flag("json", &json_path,
+                  "also write per-cell results to a JSON-lines file");
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+
+  std::vector<std::size_t> ns;
+  for (const auto& size_text : gg::split(sizes, ',')) {
+    ns.push_back(static_cast<std::size_t>(gg::parse_int(size_text)));
+  }
 
   std::cout << "=== E8: sqrt(n)-square occupancy concentration (paper §3) "
                "===\n\n";
 
-  std::unique_ptr<gg::CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<gg::CsvWriter>(csv_path);
-    csv->header({"n", "squares", "mean_max_dev", "p_all_within_10pct",
-                 "chernoff_bound", "alpha_lo", "alpha_hi"});
-  }
+  const auto scenario = gg::exp::make_e8_occupancy(
+      ns, static_cast<std::uint32_t>(trials),
+      static_cast<std::uint64_t>(seed));
+  gg::exp::RunnerOptions runner_options;
+  runner_options.threads = gg::exp::checked_threads(threads);
+  const auto summary = gg::exp::Runner(runner_options).run(scenario);
 
   gg::ConsoleTable table({"n", "squares", "E#/square", "mean max|dev|",
                           "P(all<10%)", "1-Chernoff", "alpha range"});
-  for (const auto& size_text : gg::split(sizes, ',')) {
-    const auto n = static_cast<std::size_t>(gg::parse_int(size_text));
+  for (const auto& cs : summary.cells) {
     const auto squares = gg::geometry::paper_subsquare_count(
-        static_cast<double>(n));
-    const int side = static_cast<int>(std::llround(
-        std::sqrt(static_cast<double>(squares))));
+        static_cast<double>(cs.cell.n));
     const double expected =
-        static_cast<double>(n) / static_cast<double>(squares);
-
-    double max_dev_total = 0.0;
-    std::uint64_t all_within = 0;
-    double alpha_min = 1.0;
-    double alpha_max = 0.0;
-    const double beta = gg::core::far_beta(expected);
-    for (std::int64_t trial = 0; trial < trials; ++trial) {
-      gg::Rng rng(gg::derive_seed(static_cast<std::uint64_t>(seed),
-                                  (n << 16) ^
-                                      static_cast<std::uint64_t>(trial)));
-      const auto points = gg::geometry::sample_unit_square(n, rng);
-      const gg::geometry::SquareGrid grid(gg::geometry::Rect::unit_square(),
-                                          side);
-      const auto occupancy = grid.occupancy(points);
-      double worst = 0.0;
-      for (const auto count : occupancy) {
-        const double dev =
-            std::abs(static_cast<double>(count) / expected - 1.0);
-        worst = std::max(worst, dev);
-        if (count > 0) {
-          const double alpha = beta / static_cast<double>(count);
-          alpha_min = std::min(alpha_min, alpha);
-          alpha_max = std::max(alpha_max, alpha);
-        }
-      }
-      max_dev_total += worst;
-      if (worst < 0.1) ++all_within;
-    }
-    const double mean_max_dev =
-        max_dev_total / static_cast<double>(trials);
-    const double p_all =
-        static_cast<double>(all_within) / static_cast<double>(trials);
-    const double chernoff = 1.0 - gg::stats::occupancy_deviation_bound(
-                                      expected, 0.1,
-                                      static_cast<std::size_t>(squares));
+        static_cast<double>(cs.cell.n) / static_cast<double>(squares);
 
     // Incremental += rather than one operator+ chain: GCC 12's -Wrestrict
     // fires a false positive (PR105329) on the chained form under -Werror.
     std::string alpha_window = "(";
-    alpha_window += gg::format_fixed(alpha_min, 3);
+    alpha_window += gg::format_fixed(cs.metrics.at("alpha_lo").min, 3);
     alpha_window += ", ";
-    alpha_window += gg::format_fixed(alpha_max, 3);
+    alpha_window += gg::format_fixed(cs.metrics.at("alpha_hi").max, 3);
     alpha_window += ")";
-    table.cell(gg::format_count(n))
+    table.cell(gg::format_count(cs.cell.n))
         .cell(static_cast<std::uint64_t>(squares))
         .cell(gg::format_fixed(expected, 1))
-        .cell(gg::format_fixed(mean_max_dev, 3))
-        .cell(gg::format_fixed(p_all, 3))
-        .cell(gg::format_fixed(std::max(0.0, chernoff), 3))
+        .cell(gg::format_fixed(cs.metric_mean("max_dev"), 3))
+        .cell(gg::format_fixed(cs.metric_mean("all_within"), 3))
+        .cell(gg::format_fixed(cs.metric_mean("chernoff_lo"), 3))
         .cell(alpha_window);
     table.end_row();
-    if (csv) {
-      csv->field(static_cast<std::uint64_t>(n))
-          .field(static_cast<std::uint64_t>(squares))
-          .field(mean_max_dev)
-          .field(p_all)
-          .field(std::max(0.0, chernoff))
-          .field(alpha_min)
-          .field(alpha_max);
-      csv->end_row();
-    }
   }
   table.print(std::cout);
   std::cout
@@ -125,5 +90,7 @@ int main(int argc, char** argv) {
          "simulable n it exceeds 10% — exactly why the harmonic-beta mode\n"
          "exists (DESIGN.md §2) and why the paper's constants demand\n"
          "(log n)^8-sized leaves.\n";
+
+  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
   parser.add_flag("json", &json_path,
                   "also write results to this JSON-lines file");
   parser.add_flag("quick", &quick, "shrink sweeps for a fast smoke run");
-  if (!parser.parse(argc, argv)) return 0;
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
 
   if (quick) {
     boyd_ns = "256,512,1024";
@@ -112,13 +113,12 @@ int main(int argc, char** argv) {
             << " sqrt(log n / n), seeds=" << seeds << ") ===\n\n";
 
   gg::exp::RunnerOptions runner_options;
-  runner_options.threads = static_cast<unsigned>(threads);
+  runner_options.threads = gg::exp::checked_threads(threads);
   const gg::exp::Runner runner(runner_options);
   const auto summary = runner.run(scenario);
 
   gg::exp::print_summary(std::cout, summary);
-  if (!csv_path.empty()) gg::exp::CsvSink(csv_path).write(summary);
-  if (!json_path.empty()) gg::exp::JsonLinesSink(json_path).write(summary);
+  gg::exp::write_sinks(summary, csv_path, json_path);
 
   // Fit tx ~ c n^p per protocol over the cells that mostly converged.
   std::vector<gg::analysis::ScalingReport> reports;

@@ -7,8 +7,13 @@
 // (the deterministic seed-stream at work).
 //
 //   parallel_sweep --list
+//   parallel_sweep --list-names   (bare names, for shell loops / CI)
 //   parallel_sweep --scenario=e5-quick --threads=4 --compare
-//   parallel_sweep --scenario=e11-decentralized-quick --csv=out.csv
+//   parallel_sweep --scenario=e6-routing-quick --csv=out.csv
+//
+// The registry covers every experiment E1-E11: protocol sweeps (E5, E10,
+// E11) and measurement probes (E1-E4, E6-E9), each with a -quick preset
+// sized for CI smoke runs (probes also register a -paper preset).
 #include <iostream>
 
 #include "exp/runner.hpp"
@@ -26,6 +31,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   bool list = false;
+  bool list_names = false;
   bool compare = false;
 
   gg::ArgParser parser("parallel_sweep",
@@ -39,12 +45,20 @@ int main(int argc, char** argv) {
   parser.add_flag("json", &json_path,
                   "write per-cell results to this JSON-lines file");
   parser.add_flag("list", &list, "list registered scenarios and exit");
+  parser.add_flag("list-names", &list_names,
+                  "print bare scenario names (one per line) and exit");
   parser.add_flag("compare", &compare,
                   "re-run with 1 thread and check bit-identical aggregates");
-  if (!parser.parse(argc, argv)) return 0;
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
 
   gg::exp::register_builtin_scenarios();
   auto& registry = gg::exp::ScenarioRegistry::instance();
+
+  if (list_names) {
+    for (const auto& name : registry.names()) std::cout << name << '\n';
+    return 0;
+  }
 
   if (list) {
     std::cout << "registered scenarios:\n";
@@ -66,13 +80,12 @@ int main(int argc, char** argv) {
             << scenario.description << "\n\n";
 
   gg::exp::RunnerOptions options;
-  options.threads = static_cast<unsigned>(threads);
+  options.threads = gg::exp::checked_threads(threads);
   const gg::exp::Runner runner(options);
   const auto parallel = runner.run(scenario);
   gg::exp::print_summary(std::cout, parallel);
 
-  if (!csv_path.empty()) gg::exp::CsvSink(csv_path).write(parallel);
-  if (!json_path.empty()) gg::exp::JsonLinesSink(json_path).write(parallel);
+  gg::exp::write_sinks(parallel, csv_path, json_path);
 
   if (compare) {
     gg::exp::RunnerOptions serial_options;

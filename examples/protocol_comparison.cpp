@@ -26,7 +26,10 @@ int main(int argc, char** argv) {
   parser.add_flag("seed", &seed, "random seed");
   parser.add_flag("field", &field,
                   "initial field: spike|gradient|gaussian|checkerboard");
-  if (!parser.parse(argc, argv)) return 0;
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != geogossip::ParseResult::kOk) {
+    return geogossip::parse_exit_code(parsed);
+  }
 
   gg::Rng rng(static_cast<std::uint64_t>(seed));
   const auto graph = gg::graph::GeometricGraph::sample(

@@ -25,7 +25,10 @@ int main(int argc, char** argv) {
   parser.add_flag("n", &n, "number of sensors");
   parser.add_flag("eps", &eps, "relative accuracy target");
   parser.add_flag("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 0;
+  const auto parsed = parser.parse(argc, argv);
+  if (parsed != geogossip::ParseResult::kOk) {
+    return geogossip::parse_exit_code(parsed);
+  }
 
   gg::Rng rng(static_cast<std::uint64_t>(seed));
 

@@ -1,7 +1,9 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <set>
 #include <utility>
 
 #include "exp/thread_pool.hpp"
@@ -42,6 +44,11 @@ std::vector<double> make_initial_field(const Cell& cell,
 
 ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed) {
   GG_CHECK_ARG(cell.n >= 2, "run_replicate: cell.n >= 2");
+  if (cell.trial) {
+    ReplicateResult result = cell.trial(cell, seed);
+    result.seed = seed;
+    return result;
+  }
   Rng rng(seed);
   const auto graph =
       graph::GeometricGraph::sample(cell.n, cell.radius_multiplier, rng);
@@ -115,9 +122,13 @@ SweepSummary Runner::run(const Scenario& scenario) const {
     double control = 0.0;
     double far_near = 0.0;
     std::uint32_t far_near_count = 0;
+    std::map<std::string, stats::Quantiles> metric_samples;
     for (std::uint32_t r = 0; r < replicates; ++r) {
       const ReplicateResult& rr = results[c * replicates + r];
       if (options_.keep_replicates) cs.raw.push_back(rr);
+      for (const auto& [key, value] : rr.metrics) {
+        metric_samples[key].push(value);
+      }
       if (!rr.converged) continue;
       ++cs.converged;
       const std::uint64_t total = rr.transmissions.total();
@@ -154,47 +165,126 @@ SweepSummary Runner::run(const Scenario& scenario) const {
       cs.mean_far_near_ratio =
           far_near / static_cast<double>(far_near_count);
     }
+    for (auto& [key, samples] : metric_samples) {
+      MetricSummary ms;
+      ms.count = samples.count();
+      ms.mean = samples.mean();
+      ms.median = samples.median();
+      ms.q95 = samples.quantile(0.95);
+      ms.min = samples.min();
+      ms.max = samples.max();
+      cs.metrics.emplace(key, ms);
+    }
     summary.cells.push_back(std::move(cs));
   }
   return summary;
 }
 
-void print_summary(std::ostream& out, const SweepSummary& summary) {
-  bool any_far_near = false;
-  for (const auto& cs : summary.cells) {
-    if (cs.mean_far_near_ratio > 0.0) any_far_near = true;
-  }
+double CellSummary::metric_mean(const std::string& key,
+                                double fallback) const {
+  const auto it = metrics.find(key);
+  return it == metrics.end() ? fallback : it->second.mean;
+}
 
-  std::vector<std::string> columns{"cell",   "n",   "median tx", "q25",
-                                   "q75",    "tx/node", "local%", "lr%",
-                                   "ctrl%",  "conv"};
-  if (any_far_near) columns.push_back("far/near");
+namespace {
+
+/// Width-friendly metric rendering across the 1e-6 (TV distances) to 1e5
+/// (hop counts) range the probes produce.
+std::string format_metric(double value) {
+  if (value == 0.0) return "0";
+  const double magnitude = std::abs(value);
+  if (magnitude >= 1e5 || magnitude < 1e-3) return format_sci(value, 2);
+  return format_fixed(value, 3);
+}
+
+void print_metrics_table(std::ostream& out, const SweepSummary& summary) {
+  const auto keys = metric_key_union(summary);
+  if (keys.empty()) return;
+
+  std::vector<std::string> columns{"cell", "n"};
+  for (const auto& key : keys) columns.push_back("mean " + key);
   ConsoleTable table(columns);
   table.set_alignment(0, Align::kLeft);
-
   for (const auto& cs : summary.cells) {
-    const bool has_tx = cs.converged > 0;
-    table.cell(cs.cell.label)
-        .cell(format_count(cs.cell.n))
-        .cell(has_tx ? format_si(cs.median_tx) : "-")
-        .cell(has_tx ? format_si(cs.q25_tx) : "-")
-        .cell(has_tx ? format_si(cs.q75_tx) : "-")
-        .cell(has_tx ? format_fixed(
-                           cs.median_tx / static_cast<double>(cs.cell.n), 1)
-                     : "-")
-        .cell(has_tx ? format_fixed(100.0 * cs.mean_local_share, 1) : "-")
-        .cell(has_tx ? format_fixed(100.0 * cs.mean_long_range_share, 1)
-                     : "-")
-        .cell(has_tx ? format_fixed(100.0 * cs.mean_control_share, 1) : "-")
-        .cell(format_fixed(cs.converged_fraction, 2));
-    if (any_far_near) {
-      table.cell(cs.mean_far_near_ratio > 0.0
-                     ? format_fixed(cs.mean_far_near_ratio, 4)
-                     : "-");
+    if (cs.metrics.empty()) continue;
+    table.cell(cs.cell.label).cell(format_count(cs.cell.n));
+    for (const auto& key : keys) {
+      const auto it = cs.metrics.find(key);
+      table.cell(it == cs.metrics.end() ? "-"
+                                        : format_metric(it->second.mean));
     }
     table.end_row();
   }
   table.print(out);
+}
+
+}  // namespace
+
+std::vector<std::string> metric_key_union(const SweepSummary& summary) {
+  std::set<std::string> keys;
+  for (const auto& cs : summary.cells) {
+    for (const auto& [key, ms] : cs.metrics) keys.insert(key);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+std::vector<std::string> param_key_union(const SweepSummary& summary) {
+  std::set<std::string> keys;
+  for (const auto& cs : summary.cells) {
+    for (const auto& [key, value] : cs.cell.params) keys.insert(key);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+unsigned checked_threads(std::int64_t threads) {
+  GG_CHECK_ARG(threads >= 0, "--threads must be >= 0");
+  return static_cast<unsigned>(threads);
+}
+
+void print_summary(std::ostream& out, const SweepSummary& summary) {
+  bool any_far_near = false;
+  bool any_protocol = false;
+  for (const auto& cs : summary.cells) {
+    if (cs.mean_far_near_ratio > 0.0) any_far_near = true;
+    if (!cs.cell.trial) any_protocol = true;
+  }
+
+  if (any_protocol) {
+    std::vector<std::string> columns{"cell",   "n",   "median tx", "q25",
+                                     "q75",    "tx/node", "local%", "lr%",
+                                     "ctrl%",  "conv"};
+    if (any_far_near) columns.push_back("far/near");
+    ConsoleTable table(columns);
+    table.set_alignment(0, Align::kLeft);
+
+    for (const auto& cs : summary.cells) {
+      if (cs.cell.trial) continue;  // probe cells report via metrics below
+      const bool has_tx = cs.converged > 0;
+      table.cell(cs.cell.label)
+          .cell(format_count(cs.cell.n))
+          .cell(has_tx ? format_si(cs.median_tx) : "-")
+          .cell(has_tx ? format_si(cs.q25_tx) : "-")
+          .cell(has_tx ? format_si(cs.q75_tx) : "-")
+          .cell(has_tx
+                    ? format_fixed(
+                          cs.median_tx / static_cast<double>(cs.cell.n), 1)
+                    : "-")
+          .cell(has_tx ? format_fixed(100.0 * cs.mean_local_share, 1) : "-")
+          .cell(has_tx ? format_fixed(100.0 * cs.mean_long_range_share, 1)
+                       : "-")
+          .cell(has_tx ? format_fixed(100.0 * cs.mean_control_share, 1)
+                       : "-")
+          .cell(format_fixed(cs.converged_fraction, 2));
+      if (any_far_near) {
+        table.cell(cs.mean_far_near_ratio > 0.0
+                       ? format_fixed(cs.mean_far_near_ratio, 4)
+                       : "-");
+      }
+      table.end_row();
+    }
+    table.print(out);
+  }
+  print_metrics_table(out, summary);
   out << "[" << summary.scenario << "] replicates=" << summary.replicates
       << " seed=" << summary.master_seed << " threads=" << summary.threads
       << " wall=" << format_fixed(summary.wall_seconds, 2) << "s\n";

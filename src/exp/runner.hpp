@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -23,21 +24,24 @@
 
 namespace geogossip::exp {
 
-/// Outcome of one (cell, replicate) trial.
-struct ReplicateResult {
-  std::uint64_t seed = 0;
-  bool converged = false;
-  double final_error = 1.0;
-  /// Conservation check |sum x(end) - sum x(0)|.
-  double sum_drift = 0.0;
-  sim::TxSnapshot transmissions;
-  /// Long-range / near exchange counts (decentralized protocol only).
-  std::uint64_t far_exchanges = 0;
-  std::uint64_t near_exchanges = 0;
+// ReplicateResult lives in scenario.hpp (cells carry TrialFn, which
+// returns it); re-exported here through that include.
+
+/// Order statistics of one named per-trial metric over a cell's
+/// replicates.  Aggregated in replicate-index order, so bit-identical at
+/// any thread count.
+struct MetricSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double q95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
 };
 
 /// Aggregate over the replicates of one cell.  Transmission quantiles and
-/// category shares are computed over the converged replicates only.
+/// category shares are computed over the converged replicates only;
+/// metric summaries cover every replicate that reported the key.
 struct CellSummary {
   Cell cell;
   std::size_t cell_index = 0;
@@ -52,8 +56,14 @@ struct CellSummary {
   double mean_control_share = 0.0;
   /// Mean far/near exchange ratio (decentralized cells; 0 otherwise).
   double mean_far_near_ratio = 0.0;
+  /// Per-metric aggregates over every replicate that reported the key
+  /// (ordered map: deterministic iteration for tables and sinks).
+  std::map<std::string, MetricSummary> metrics;
   /// Per-replicate outcomes, kept when RunnerOptions::keep_replicates.
   std::vector<ReplicateResult> raw;
+
+  /// Convenience: mean of a metric, or `fallback` when absent.
+  double metric_mean(const std::string& key, double fallback = 0.0) const;
 };
 
 struct SweepSummary {
@@ -87,14 +97,29 @@ class Runner {
   RunnerOptions options_;
 };
 
-/// Runs a single replicate: samples the graph and the initial field from a
-/// fresh Rng(seed), centres/normalizes, and executes the cell's protocol.
+/// Runs a single replicate.  Probe cells (cell.trial set) invoke their
+/// TrialFn; protocol cells sample the graph and the initial field from a
+/// fresh Rng(seed), centre/normalize, and execute the cell's protocol.
 /// Exposed for tests and custom drivers.
 ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed);
 
-/// Standard console rendering: one table row per cell (median/quartile
-/// transmissions, per-node cost, category shares, convergence), plus the
-/// far/near column when any cell exercised the decentralized protocol.
+/// Sorted union of metric keys across the cells of a summary — the column
+/// set used by both the console metrics table and the CSV sink.
+std::vector<std::string> metric_key_union(const SweepSummary& summary);
+
+/// Sorted union of cell-parameter keys across the cells of a summary.
+std::vector<std::string> param_key_union(const SweepSummary& summary);
+
+/// Validates a signed --threads flag value (0 = hardware concurrency) and
+/// narrows it for RunnerOptions::threads; throws ArgumentError when
+/// negative, so `--threads=-1` cannot silently become 4 billion workers.
+unsigned checked_threads(std::int64_t threads);
+
+/// Standard console rendering.  Protocol cells get one table row each
+/// (median/quartile transmissions, per-node cost, category shares,
+/// convergence), plus the far/near column when any cell exercised the
+/// decentralized protocol; when any cell reported per-trial metrics a
+/// second table shows the mean of every metric key per cell.
 void print_summary(std::ostream& out, const SweepSummary& summary);
 
 }  // namespace geogossip::exp

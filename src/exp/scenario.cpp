@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "exp/probes.hpp"
 #include "support/check.hpp"
 
 namespace geogossip::exp {
@@ -21,6 +22,11 @@ std::string_view cell_field_name(CellField field) noexcept {
       return "checkerboard";
   }
   return "?";
+}
+
+double Cell::param(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
 }
 
 Cell& Scenario::add(core::ProtocolKind kind, std::size_t n) {
@@ -187,6 +193,7 @@ void register_builtin_scenarios() {
   registry.add("e5-quick", e5_quick);
   registry.add("e10-ablation-quick", e10_quick);
   registry.add("e11-decentralized-quick", e11_quick);
+  register_probe_scenarios();
 }
 
 }  // namespace geogossip::exp

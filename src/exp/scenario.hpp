@@ -20,8 +20,37 @@
 #include <vector>
 
 #include "core/convergence.hpp"
+#include "sim/metrics.hpp"
 
 namespace geogossip::exp {
+
+struct Cell;
+
+/// Outcome of one (cell, replicate) trial.  Protocol trials fill the
+/// transmission fields; probe trials (E1-E4, E6-E9 measurements that do not
+/// run a gossip protocol) report through the open-ended `metrics` map, one
+/// named scalar per observable.  The runner aggregates every key it sees.
+struct ReplicateResult {
+  std::uint64_t seed = 0;
+  bool converged = false;
+  double final_error = 1.0;
+  /// Conservation check |sum x(end) - sum x(0)|.
+  double sum_drift = 0.0;
+  sim::TxSnapshot transmissions;
+  /// Long-range / near exchange counts (decentralized protocol only).
+  std::uint64_t far_exchanges = 0;
+  std::uint64_t near_exchanges = 0;
+  /// Named per-trial observables (hop counts, spectral estimates,
+  /// acceptance rates, ...).  std::map, not unordered: deterministic key
+  /// order keeps aggregation and sink output stable.
+  std::map<std::string, double> metrics;
+};
+
+/// A cell's measurement procedure: pure function of (cell, seed), so the
+/// scenario stays bit-reproducible at any thread count.  Empty = run the
+/// cell's protocol through core::run_protocol_trial.
+using TrialFn =
+    std::function<ReplicateResult(const Cell& cell, std::uint64_t seed)>;
 
 /// Initial field x(0) drawn fresh for each replicate (centred and
 /// normalized by the runner before the trial starts).
@@ -53,6 +82,19 @@ struct Cell {
   /// comparison: replicate k then samples the identical (graph, field) in
   /// each of them, isolating the configuration difference.
   std::size_t seed_stream = kAutoSeedStream;
+  /// Measurement name for probe cells ("routing-hops", "spectral", ...);
+  /// empty for protocol cells.  Shown in the sinks' protocol column.
+  std::string probe;
+  /// Free-form numeric knobs consumed by `trial` (horizon t, eps threshold,
+  /// noise bound, sample counts, ...).  Part of the cell's identity, so
+  /// factories rebuild them deterministically.
+  std::map<std::string, double> params;
+  /// Custom measurement; empty runs the protocol trial.  Must depend only
+  /// on (cell, seed) — never on globals or wall clock.
+  TrialFn trial;
+
+  /// Looks up a numeric knob; returns `fallback` when absent.
+  double param(const std::string& key, double fallback = 0.0) const;
 };
 
 /// A named, replicated experiment over a list of cells.
@@ -107,9 +149,11 @@ class ScenarioRegistry {
   std::map<std::string, Factory> factories_;
 };
 
-/// Registers the built-in demo scenarios ("e5-quick", "e10-ablation-quick",
-/// "e11-decentralized-quick") — small versions of the ported benches, used
-/// by examples/parallel_sweep and the tests.  Idempotent.
+/// Registers every built-in scenario: the protocol sweeps ("e5-quick",
+/// "e10-ablation-quick", "e11-decentralized-quick") plus, via
+/// register_probe_scenarios(), a quick and a paper-scale preset for each
+/// measurement figure (E1-E4, E6-E9).  After this call the registry names
+/// cover all eleven experiments.  Idempotent.
 void register_builtin_scenarios();
 
 }  // namespace geogossip::exp

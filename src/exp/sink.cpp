@@ -32,6 +32,13 @@ std::string format_double(double value) {
   return os.str();
 }
 
+/// Probe cells identify themselves by probe name, protocol cells by kind.
+std::string procedure_name(const Cell& cell) {
+  return cell.probe.empty()
+             ? std::string(core::protocol_kind_name(cell.kind))
+             : cell.probe;
+}
+
 }  // namespace
 
 CsvSink::CsvSink(const std::string& path) : writer_(path) {}
@@ -40,13 +47,24 @@ CsvSink::CsvSink(std::ostream& out) : writer_(out) {}
 
 void CsvSink::write(const SweepSummary& summary) {
   if (!header_written_) {
-    writer_.header(csv_columns());
+    param_keys_ = param_key_union(summary);
+    metric_keys_ = metric_key_union(summary);
+    auto columns = csv_columns();
+    for (const auto& key : param_keys_) columns.push_back("param_" + key);
+    for (const auto& key : metric_keys_) {
+      columns.push_back(key + "_mean");
+      columns.push_back(key + "_median");
+      columns.push_back(key + "_q95");
+      columns.push_back(key + "_min");
+      columns.push_back(key + "_max");
+    }
+    writer_.header(columns);
     header_written_ = true;
   }
   for (const auto& cs : summary.cells) {
     writer_.field(summary.scenario)
         .field(cs.cell.label)
-        .field(std::string(core::protocol_kind_name(cs.cell.kind)))
+        .field(procedure_name(cs.cell))
         .field(static_cast<std::uint64_t>(cs.cell.n))
         .field(cs.cell.radius_multiplier)
         .field(std::string(cell_field_name(cs.cell.field)))
@@ -62,6 +80,26 @@ void CsvSink::write(const SweepSummary& summary) {
         .field(cs.mean_far_near_ratio)
         .field(summary.master_seed)
         .field(static_cast<std::uint64_t>(summary.threads));
+    for (const auto& key : param_keys_) {
+      const auto it = cs.cell.params.find(key);
+      if (it == cs.cell.params.end()) {
+        writer_.field(std::string());
+      } else {
+        writer_.field(it->second);
+      }
+    }
+    for (const auto& key : metric_keys_) {
+      const auto it = cs.metrics.find(key);
+      if (it == cs.metrics.end()) {
+        for (int i = 0; i < 5; ++i) writer_.field(std::string());
+      } else {
+        writer_.field(it->second.mean)
+            .field(it->second.median)
+            .field(it->second.q95)
+            .field(it->second.min)
+            .field(it->second.max);
+      }
+    }
     writer_.end_row();
   }
 }
@@ -80,8 +118,7 @@ void JsonLinesSink::write(const SweepSummary& summary) {
     std::ostream& out = *out_;
     out << "{\"scenario\":\"" << json_escape(summary.scenario) << "\""
         << ",\"cell\":\"" << json_escape(cs.cell.label) << "\""
-        << ",\"protocol\":\""
-        << json_escape(std::string(core::protocol_kind_name(cs.cell.kind)))
+        << ",\"protocol\":\"" << json_escape(procedure_name(cs.cell))
         << "\""
         << ",\"n\":" << cs.cell.n
         << ",\"radius_mult\":" << format_double(cs.cell.radius_multiplier)
@@ -99,9 +136,41 @@ void JsonLinesSink::write(const SweepSummary& summary) {
         << ",\"control_share\":" << format_double(cs.mean_control_share)
         << ",\"far_near_ratio\":" << format_double(cs.mean_far_near_ratio)
         << ",\"master_seed\":" << summary.master_seed
-        << ",\"threads\":" << summary.threads << "}\n";
+        << ",\"threads\":" << summary.threads;
+    if (!cs.cell.params.empty()) {
+      out << ",\"params\":{";
+      bool first = true;
+      for (const auto& [key, value] : cs.cell.params) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << json_escape(key) << "\":" << format_double(value);
+      }
+      out << "}";
+    }
+    if (!cs.metrics.empty()) {
+      out << ",\"metrics\":{";
+      bool first = true;
+      for (const auto& [key, ms] : cs.metrics) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << json_escape(key) << "\":{\"count\":" << ms.count
+            << ",\"mean\":" << format_double(ms.mean)
+            << ",\"median\":" << format_double(ms.median)
+            << ",\"q95\":" << format_double(ms.q95)
+            << ",\"min\":" << format_double(ms.min)
+            << ",\"max\":" << format_double(ms.max) << "}";
+      }
+      out << "}";
+    }
+    out << "}\n";
   }
   out_->flush();
+}
+
+void write_sinks(const SweepSummary& summary, const std::string& csv_path,
+                 const std::string& json_path) {
+  if (!csv_path.empty()) CsvSink(csv_path).write(summary);
+  if (!json_path.empty()) JsonLinesSink(json_path).write(summary);
 }
 
 std::string json_escape(const std::string& text) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "exp/runner.hpp"
 #include "support/csv.hpp"
@@ -30,7 +31,14 @@ class Sink {
 /// Column order: scenario, cell, protocol, n, radius_mult, field,
 /// replicates, converged, converged_fraction, median_tx, q25_tx, q75_tx,
 /// local_share, long_range_share, control_share, far_near_ratio,
-/// master_seed, threads.
+/// master_seed, threads — then one param_<key> column per cell parameter
+/// and five columns (<key>_mean, _median, _q95, _min, _max) per per-trial
+/// metric key, both in sorted key order, so sweep coordinates and order
+/// statistics survive without label parsing.  Probe cells put the probe
+/// name in the protocol column.  The param/metric column sets are fixed by
+/// the FIRST summary written; later summaries fill only those columns
+/// (absent keys emit empty fields, novel keys are dropped) so appended
+/// output stays rectangular.
 class CsvSink final : public Sink {
  public:
   explicit CsvSink(const std::string& path);
@@ -41,6 +49,8 @@ class CsvSink final : public Sink {
  private:
   CsvWriter writer_;
   bool header_written_ = false;
+  std::vector<std::string> param_keys_;
+  std::vector<std::string> metric_keys_;
 };
 
 /// One JSON object per line per cell (JSON Lines / ndjson).
@@ -60,6 +70,11 @@ class JsonLinesSink final : public Sink {
 /// Escapes a string for embedding inside a JSON string literal (quotes,
 /// backslashes, control characters).
 std::string json_escape(const std::string& text);
+
+/// Convenience for drivers: writes `summary` to the given CSV and/or
+/// JSON-lines paths; an empty path skips that sink.
+void write_sinks(const SweepSummary& summary, const std::string& csv_path,
+                 const std::string& json_path);
 
 }  // namespace geogossip::exp
 

@@ -68,41 +68,51 @@ void ArgParser::assign(const Flag& flag, const std::string& value) {
   }
 }
 
-bool ArgParser::parse(int argc, const char* const* argv) {
+int parse_exit_code(ParseResult result) noexcept {
+  return result == ParseResult::kError ? 1 : 0;
+}
+
+ParseResult ArgParser::parse(int argc, const char* const* argv) {
   positional_.clear();
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      std::cout << help_text();
-      return false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        std::cout << help_text();
+        return ParseResult::kHelp;
+      }
+      if (!starts_with(arg, "--")) {
+        positional_.push_back(arg);
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::optional<std::string> inline_value;
+      const std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      }
+      const Flag* flag = find(name);
+      GG_CHECK_ARG(flag != nullptr, "unknown flag --" + name);
+      if (inline_value) {
+        assign(*flag, *inline_value);
+        continue;
+      }
+      if (flag->kind == Kind::kBool) {
+        // A bare boolean flag means "true"; an explicit value may follow
+        // only in the --name=value form handled above.
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      GG_CHECK_ARG(i + 1 < argc, "flag --" + name + " expects a value");
+      assign(*flag, argv[++i]);
     }
-    if (!starts_with(arg, "--")) {
-      positional_.push_back(arg);
-      continue;
-    }
-    std::string name = arg.substr(2);
-    std::optional<std::string> inline_value;
-    const std::size_t eq = name.find('=');
-    if (eq != std::string::npos) {
-      inline_value = name.substr(eq + 1);
-      name = name.substr(0, eq);
-    }
-    const Flag* flag = find(name);
-    GG_CHECK_ARG(flag != nullptr, "unknown flag --" + name);
-    if (inline_value) {
-      assign(*flag, *inline_value);
-      continue;
-    }
-    if (flag->kind == Kind::kBool) {
-      // A bare boolean flag means "true"; an explicit value may follow only
-      // in the --name=value form handled above.
-      *static_cast<bool*>(flag->target) = true;
-      continue;
-    }
-    GG_CHECK_ARG(i + 1 < argc, "flag --" + name + " expects a value");
-    assign(*flag, argv[++i]);
+  } catch (const ArgumentError& error) {
+    std::cerr << program_ << ": " << error.what() << "\n"
+              << "run with --help for the flag list\n";
+    return ParseResult::kError;
   }
-  return true;
+  return ParseResult::kOk;
 }
 
 std::string ArgParser::help_text() const {

@@ -13,6 +13,19 @@
 
 namespace geogossip {
 
+/// What ArgParser::parse found.  Drivers translate this into an exit code
+/// with parse_exit_code(): --help is a successful run (0), a malformed
+/// command line is a failure (1) — so CI smoke runs cannot silently pass
+/// on typos.
+enum class ParseResult {
+  kOk,    ///< flags consumed; proceed
+  kHelp,  ///< --help printed; exit 0 without running
+  kError, ///< unknown flag / malformed value, reported on stderr; exit 1
+};
+
+/// Conventional process exit code for a non-kOk parse result.
+int parse_exit_code(ParseResult result) noexcept;
+
 class ArgParser {
  public:
   /// `program` and `summary` appear in the --help output.
@@ -29,9 +42,11 @@ class ArgParser {
   void add_flag(const std::string& name, bool* target,
                 const std::string& help);
 
-  /// Parses argv.  Returns false if --help was requested (help text already
-  /// printed); throws ArgumentError on unknown flags or malformed values.
-  bool parse(int argc, const char* const* argv);
+  /// Parses argv.  Returns kHelp if --help was requested (help text already
+  /// printed to stdout) and kError on unknown flags or malformed values
+  /// (diagnostic already printed to stderr).  Never throws on bad input, so
+  /// every main() can be a simple result check.
+  ParseResult parse(int argc, const char* const* argv);
 
   /// Positional arguments remaining after flag extraction.
   const std::vector<std::string>& positional() const noexcept {

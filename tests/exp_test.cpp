@@ -3,11 +3,13 @@
 // parallel runner's aggregation, the scenario registry, and the sinks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <sstream>
 #include <vector>
 
+#include "exp/probes.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sink.hpp"
@@ -128,6 +130,49 @@ TEST(ScenarioRegistry, BuiltinsRegisterAndUnknownNamesThrow) {
   EXPECT_THROW(registry.make("no-such-scenario"), ArgumentError);
 }
 
+TEST(ScenarioRegistry, EveryExperimentHasAConstructibleQuickScenario) {
+  register_builtin_scenarios();
+  auto& registry = ScenarioRegistry::instance();
+  const auto names = registry.names();
+  for (int figure = 1; figure <= 11; ++figure) {
+    // Incremental += rather than one operator+ chain: GCC 12's -Wrestrict
+    // fires a false positive (PR105329) on the chained form under -Werror.
+    std::string prefix = "e";
+    prefix += std::to_string(figure);
+    prefix += '-';
+    bool found = false;
+    for (const auto& name : names) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      if (name.size() < 6 || name.substr(name.size() - 6) != "-quick") {
+        continue;
+      }
+      found = true;
+      const auto scenario = registry.make(name);
+      EXPECT_FALSE(scenario.cells.empty()) << name;
+      EXPECT_GE(scenario.replicates, 1u) << name;
+    }
+    EXPECT_TRUE(found) << "no -quick scenario registered for E" << figure;
+  }
+}
+
+TEST(ScenarioRegistry, ProbeScenariosAlsoShipPaperPresets) {
+  register_builtin_scenarios();
+  auto& registry = ScenarioRegistry::instance();
+  for (const int figure : {1, 2, 3, 4, 6, 7, 8, 9}) {
+    bool found = false;
+    std::string prefix = "e";  // += avoids the GCC 12 -Wrestrict FP
+    prefix += std::to_string(figure);
+    prefix += '-';
+    for (const auto& name : registry.names()) {
+      if (name.rfind(prefix, 0) == 0 && name.size() >= 6 &&
+          name.substr(name.size() - 6) == "-paper") {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "no -paper preset for E" << figure;
+  }
+}
+
 // ---------------------------------------------------------------- runner ----
 
 TEST(Runner, AggregatesExpectedReplicateCountPerCell) {
@@ -238,6 +283,162 @@ TEST(Runner, ProgressCallbackFiresOncePerReplicate) {
             static_cast<int>(scenario.cells.size() * scenario.replicates));
 }
 
+// --------------------------------------------------------------- metrics ----
+
+/// Synthetic probe: deterministic metrics from (cell, seed) only.
+Scenario metric_scenario(std::uint32_t replicates) {
+  Scenario scenario;
+  scenario.name = "metric-probe";
+  scenario.replicates = replicates;
+  scenario.master_seed = 13;
+  for (const std::size_t n : {8, 16, 24}) {
+    auto& cell = scenario.add("probe n=" + std::to_string(n),
+                              core::ProtocolKind::kBoydPairwise, n);
+    cell.probe = "synthetic";
+    cell.params["scale"] = 2.0;
+    cell.trial = [](const Cell& c, std::uint64_t seed) {
+      ReplicateResult result;
+      result.converged = true;
+      result.metrics["value"] =
+          c.param("scale") * static_cast<double>(seed % 97);
+      result.metrics["n_copy"] = static_cast<double>(c.n);
+      return result;
+    };
+  }
+  return scenario;
+}
+
+TEST(Metrics, CellParamLookupFallsBack) {
+  Cell cell;
+  cell.params["x"] = 1.5;
+  EXPECT_DOUBLE_EQ(cell.param("x"), 1.5);
+  EXPECT_DOUBLE_EQ(cell.param("missing", -2.0), -2.0);
+}
+
+TEST(Metrics, AggregatesEveryKeyWithOrderStatistics) {
+  RunnerOptions options;
+  options.threads = 2;
+  options.keep_replicates = true;
+  const auto summary = Runner(options).run(metric_scenario(5));
+
+  ASSERT_EQ(summary.cells.size(), 3u);
+  for (const auto& cs : summary.cells) {
+    ASSERT_EQ(cs.metrics.count("value"), 1u);
+    ASSERT_EQ(cs.metrics.count("n_copy"), 1u);
+    const auto& value = cs.metrics.at("value");
+    EXPECT_EQ(value.count, 5u);
+    // Recompute the aggregate from the raw replicates.
+    double sum = 0.0;
+    double lo = 1e300;
+    double hi = -1e300;
+    for (const auto& rr : cs.raw) {
+      const double v = rr.metrics.at("value");
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_DOUBLE_EQ(value.mean, sum / 5.0);
+    EXPECT_DOUBLE_EQ(value.min, lo);
+    EXPECT_DOUBLE_EQ(value.max, hi);
+    EXPECT_GE(value.median, lo);
+    EXPECT_LE(value.median, hi);
+    EXPECT_DOUBLE_EQ(cs.metrics.at("n_copy").mean,
+                     static_cast<double>(cs.cell.n));
+    EXPECT_DOUBLE_EQ(cs.metric_mean("n_copy"),
+                     static_cast<double>(cs.cell.n));
+    EXPECT_DOUBLE_EQ(cs.metric_mean("absent", -1.0), -1.0);
+    // Probes always converge: the measurement itself is the outcome.
+    EXPECT_EQ(cs.converged, 5u);
+  }
+}
+
+TEST(Metrics, AggregationIsBitIdenticalAcrossThreadCounts) {
+  const auto scenario = metric_scenario(4);
+
+  RunnerOptions serial;
+  serial.threads = 1;
+  const auto one = Runner(serial).run(scenario);
+
+  RunnerOptions parallel;
+  parallel.threads = 4;
+  const auto four = Runner(parallel).run(scenario);
+
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    const auto& a = one.cells[i].metrics;
+    const auto& b = four.cells[i].metrics;
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [key, ms] : a) {
+      ASSERT_EQ(b.count(key), 1u) << key;
+      const auto& other = b.at(key);
+      EXPECT_EQ(ms.count, other.count) << key;
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(ms.mean, other.mean) << key;
+      EXPECT_EQ(ms.median, other.median) << key;
+      EXPECT_EQ(ms.q95, other.q95) << key;
+      EXPECT_EQ(ms.min, other.min) << key;
+      EXPECT_EQ(ms.max, other.max) << key;
+    }
+  }
+}
+
+TEST(Metrics, ProbeQuickScenarioIsBitIdenticalAcrossThreadCounts) {
+  // End-to-end over a real probe: E7 quick builds fast graphs only.
+  register_builtin_scenarios();
+  auto scenario = ScenarioRegistry::instance().make("e7-connectivity-quick");
+  scenario.replicates = 3;
+
+  RunnerOptions serial;
+  serial.threads = 1;
+  const auto one = Runner(serial).run(scenario);
+  RunnerOptions parallel;
+  parallel.threads = 4;
+  const auto four = Runner(parallel).run(scenario);
+
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    for (const auto& [key, ms] : one.cells[i].metrics) {
+      EXPECT_EQ(ms.mean, four.cells[i].metrics.at(key).mean) << key;
+      EXPECT_EQ(ms.q95, four.cells[i].metrics.at(key).q95) << key;
+    }
+  }
+}
+
+TEST(Metrics, PairedProbeCellsShareDeployments) {
+  // E9 pins rejection on/off to one seed stream per size: replicate k of
+  // both cells must draw the same seed (same graph, same draw sequence).
+  const auto scenario = make_e9_rejection({64}, 50, 1.2, 2, 7);
+  RunnerOptions options;
+  options.threads = 2;
+  options.keep_replicates = true;
+  const auto summary = Runner(options).run(scenario);
+  ASSERT_EQ(summary.cells.size(), 2u);
+  for (std::uint32_t r = 0; r < scenario.replicates; ++r) {
+    EXPECT_EQ(summary.cells[0].raw[r].seed, summary.cells[1].raw[r].seed);
+  }
+  // With sampling off only self-targets count as rejections, so the on
+  // cell's rejection rate dominates the off cell's.
+  EXPECT_GE(summary.cells[1].metric_mean("rejects_per_draw"),
+            summary.cells[0].metric_mean("rejects_per_draw"));
+}
+
+TEST(Metrics, HorizonCellsExtendTheSameTrajectory) {
+  // E1's horizon family shares a stream: the t=2n cell's mean norm must
+  // exceed the t=10n cell's (same trajectories observed earlier), and the
+  // contraction ratio must stay near or below 1.
+  const auto scenario = make_e1_contraction({32}, 12, 3);
+  RunnerOptions options;
+  options.threads = 2;
+  const auto summary = Runner(options).run(scenario);
+  // 1 size x 3 alpha modes x 5 horizons.
+  ASSERT_EQ(summary.cells.size(), 15u);
+  const auto& first = summary.cells[0];   // paper mode, t=2n
+  const auto& last = summary.cells[4];    // paper mode, t=10n
+  EXPECT_EQ(first.cell.seed_stream, last.cell.seed_stream);
+  EXPECT_GT(first.metric_mean("norm_sq"), last.metric_mean("norm_sq"));
+  EXPECT_GT(last.metric_mean("bound"), 0.0);
+}
+
 // ----------------------------------------------------------------- sinks ----
 
 TEST(Sinks, CsvSinkWritesHeaderOnceAndOneRowPerCell) {
@@ -273,6 +474,45 @@ TEST(Sinks, JsonLinesSinkEmitsOneObjectPerCell) {
   EXPECT_EQ(lines, summary.cells.size());
   EXPECT_NE(text.find("\"scenario\":\"tiny\""), std::string::npos);
   EXPECT_NE(text.find("\"protocol\":\"dimakis\""), std::string::npos);
+}
+
+TEST(Sinks, CsvSinkAppendsMetricColumnsInSortedKeyOrder) {
+  RunnerOptions options;
+  options.threads = 2;
+  const auto summary = Runner(options).run(metric_scenario(3));
+
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.write(summary);
+  const std::string text = out.str();
+  const std::string header = text.substr(0, text.find('\n'));
+  // Base columns, then param_<key>, then the five order statistics per
+  // metric key, sorted by key.
+  EXPECT_NE(header.find("scenario,cell,protocol,n"), std::string::npos);
+  EXPECT_NE(header.find("param_scale"), std::string::npos);
+  EXPECT_NE(header.find(
+                "n_copy_mean,n_copy_median,n_copy_q95,n_copy_min,"
+                "n_copy_max,value_mean,value_median,value_q95,value_min,"
+                "value_max"),
+            std::string::npos);
+  // Probe cells report the probe name in the protocol column.
+  EXPECT_NE(text.find("probe n=8,synthetic,8"), std::string::npos);
+}
+
+TEST(Sinks, JsonLinesSinkEmitsMetricsObject) {
+  RunnerOptions options;
+  options.threads = 2;
+  const auto summary = Runner(options).run(metric_scenario(3));
+
+  std::ostringstream out;
+  JsonLinesSink(out).write(summary);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"protocol\":\"synthetic\""), std::string::npos);
+  EXPECT_NE(text.find("\"params\":{\"scale\":2}"), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"value\":{\"count\":3,\"mean\":"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"q95\":"), std::string::npos);
 }
 
 TEST(Sinks, JsonEscapeHandlesQuotesBackslashesAndControls) {

@@ -320,7 +320,7 @@ TEST(Cli, ParsesAllValueForms) {
 
   const char* argv[] = {"prog", "--n=42", "--eps", "0.125",
                         "--name=run1", "--verbose", "positional"};
-  ASSERT_TRUE(parser.parse(7, argv));
+  ASSERT_EQ(parser.parse(7, argv), ParseResult::kOk);
   EXPECT_EQ(n, 42);
   EXPECT_DOUBLE_EQ(eps, 0.125);
   EXPECT_EQ(name, "run1");
@@ -334,18 +334,36 @@ TEST(Cli, BoolExplicitValueForm) {
   ArgParser parser("prog", "test");
   parser.add_flag("flag", &flag, "a bool");
   const char* argv[] = {"prog", "--flag=false"};
-  ASSERT_TRUE(parser.parse(2, argv));
+  ASSERT_EQ(parser.parse(2, argv), ParseResult::kOk);
   EXPECT_FALSE(flag);
 }
 
-TEST(Cli, RejectsUnknownFlagAndMissingValue) {
+TEST(Cli, RejectsUnknownFlagAndMissingValueWithKError) {
   std::int64_t n = 0;
   ArgParser parser("prog", "test");
   parser.add_flag("n", &n, "count");
   const char* bad[] = {"prog", "--bogus=1"};
-  EXPECT_THROW(parser.parse(2, bad), ArgumentError);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parser.parse(2, bad), ParseResult::kError);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("--bogus"),
+            std::string::npos);
   const char* missing[] = {"prog", "--n"};
-  EXPECT_THROW(parser.parse(2, missing), ArgumentError);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parser.parse(2, missing), ParseResult::kError);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("expects a value"),
+            std::string::npos);
+  const char* malformed[] = {"prog", "--n=abc"};
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parser.parse(2, malformed), ParseResult::kError);
+  testing::internal::GetCapturedStderr();
+}
+
+TEST(Cli, ExitCodesDistinguishHelpFromError) {
+  // --help is a successful run; a typo must fail the process so CI smoke
+  // runs cannot silently pass on malformed command lines.
+  EXPECT_EQ(parse_exit_code(ParseResult::kHelp), 0);
+  EXPECT_EQ(parse_exit_code(ParseResult::kError), 1);
+  EXPECT_EQ(parse_exit_code(ParseResult::kOk), 0);
 }
 
 TEST(Cli, RejectsDuplicateRegistration) {
@@ -355,13 +373,13 @@ TEST(Cli, RejectsDuplicateRegistration) {
   EXPECT_THROW(parser.add_flag("n", &n, "again"), ArgumentError);
 }
 
-TEST(Cli, HelpReturnsFalseAndMentionsFlags) {
+TEST(Cli, HelpReturnsKHelpAndMentionsFlags) {
   std::int64_t n = 3;
   ArgParser parser("prog", "summary line");
   parser.add_flag("n", &n, "the count");
   const char* argv[] = {"prog", "--help"};
   testing::internal::CaptureStdout();
-  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_EQ(parser.parse(2, argv), ParseResult::kHelp);
   const std::string out = testing::internal::GetCapturedStdout();
   EXPECT_NE(out.find("summary line"), std::string::npos);
   EXPECT_NE(out.find("--n"), std::string::npos);
