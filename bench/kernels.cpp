@@ -1,0 +1,398 @@
+// Self-timed perf-kernel harness: times the simulator's hot paths across n
+// and emits JSON, with no external benchmark dependency (unlike
+// micro_kernels, which needs Google Benchmark and is skipped when the
+// library is absent).  The committed BENCH_*.json trajectory is produced by
+// this binary so perf regressions are visible PR over PR.
+//
+// Kernels:
+//   graph_build            GeometricGraph::sample (bucket grid + CSR)
+//   nearest_query          expanding-ring nearest-node lookup
+//   route_to_node          greedy geographic route between random pairs
+//   gossip_tick_pairwise   one Boyd tick (neighbour pick + pair average)
+//   gossip_tick_geographic one Dimakis tick (route + exchange + route back)
+//   acceptance_setup       GeographicGossip construction (Voronoi weights)
+//   convergence_check      one engine convergence test, as run_to_epsilon
+//                          performs it per checkpoint
+//   deviation_norm_exact   full O(n) recomputation (contrast baseline)
+//   run_to_epsilon_*       end-to-end protocol construction + run to eps
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/decentralized.hpp"
+#include "core/hierarchy_protocol.hpp"
+#include "gossip/geographic.hpp"
+#include "gossip/pairwise.hpp"
+#include "graph/geometric_graph.hpp"
+#include "routing/greedy.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/field.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+namespace gg = geogossip;
+
+namespace {
+
+struct KernelResult {
+  std::string name;
+  std::size_t n = 0;
+  double ns_per_op = 0.0;
+  std::uint64_t ops = 0;
+  double total_ms = 0.0;
+};
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// Repeats `batch` (which runs a batch and returns its op count) until the
+/// time budget is spent, then reports ns/op.  At least one batch always
+/// runs, so expensive end-to-end kernels degrade to a single measurement.
+template <typename Batch>
+KernelResult time_kernel(const std::string& name, std::size_t n,
+                         double budget_ms, Batch&& batch) {
+  KernelResult result;
+  result.name = name;
+  result.n = n;
+  const double start = now_ms();
+  do {
+    result.ops += batch();
+    result.total_ms = now_ms() - start;
+  } while (result.total_ms < budget_ms);
+  result.ns_per_op =
+      result.total_ms * 1e6 / static_cast<double>(result.ops);
+  return result;
+}
+
+/// Optimizer sink: accumulating into a volatile keeps kernels observable.
+volatile double g_sink = 0.0;
+
+/// One convergence test exactly as run_to_epsilon performs it in the
+/// library version this harness is built against: the O(1) incremental
+/// read when the protocol exposes one, the historical O(n) exact
+/// recomputation otherwise.  (The `requires` probe keeps this source
+/// buildable against pre-overhaul checkouts, so before/after baselines
+/// come from the very same harness.)
+template <typename Protocol>
+double engine_check(const Protocol& protocol, double initial_norm) {
+  if constexpr (requires { protocol.deviation_sq(); }) {
+    return protocol.deviation_sq();
+  } else {
+    return gg::sim::relative_error(protocol.values(), initial_norm);
+  }
+}
+
+std::vector<double> make_field(std::size_t n, gg::Rng& rng) {
+  auto x0 = gg::sim::gaussian_field(n, rng);
+  gg::sim::center_and_normalize(x0);
+  return x0;
+}
+
+constexpr double kEpsilon = 1e-3;
+constexpr double kRadiusMultiplier = 2.0;
+
+std::uint64_t pairwise_tick_cap(std::size_t n) {
+  return 200ull * static_cast<std::uint64_t>(n) * n;
+}
+
+std::uint64_t geographic_tick_cap(std::size_t n) {
+  return 4096ull * static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t state_machine_tick_cap(std::size_t n) {
+  const double nn = static_cast<double>(n);
+  return static_cast<std::uint64_t>(4096.0 * nn * std::log(1.0 / kEpsilon) *
+                                    std::log(nn));
+}
+
+void append_json(std::ostream& os, const std::vector<KernelResult>& results,
+                 bool quick) {
+  os << "{\n  \"harness\": \"bench/kernels\",\n"
+     << "  \"epsilon\": " << kEpsilon << ",\n"
+     << "  \"radius_multiplier\": " << kRadiusMultiplier << ",\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\"name\": \"" << r.name << "\", \"n\": " << r.n
+       << ", \"ns_per_op\": " << r.ns_per_op << ", \"ops\": " << r.ops
+       << ", \"total_ms\": " << r.total_ms << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  double budget_ms = 250.0;
+
+  gg::ArgParser parser("kernels",
+                       "Self-timed perf kernels over the simulation hot "
+                       "paths; emits the BENCH_*.json trajectory.");
+  parser.add_flag("quick", &quick,
+                  "smaller n ladder and time budget (CI perf-smoke)");
+  parser.add_flag("json", &json_path, "write results as JSON to this path");
+  parser.add_flag("budget-ms", &budget_ms,
+                  "time budget per micro kernel in milliseconds");
+  const auto parse = parser.parse(argc, argv);
+  if (parse != gg::ParseResult::kOk) return gg::parse_exit_code(parse);
+  if (quick) budget_ms = std::min(budget_ms, 120.0);
+
+  const std::vector<std::size_t> micro_ns =
+      quick ? std::vector<std::size_t>{256, 1024, 4096}
+            : std::vector<std::size_t>{256, 1024, 4096, 16384};
+  const std::vector<std::size_t> e2e_ns{1024, 4096};
+
+  std::vector<KernelResult> results;
+
+  for (const std::size_t n : micro_ns) {
+    // Every kernel gets its own fixed-seed stream: the self-timed build
+    // loop advances its RNG a machine-speed-dependent number of times, so
+    // sharing one stream would make the measured graph and query
+    // sequences differ run-to-run and before-vs-after.
+    gg::Rng build_rng(0x5eed0 + n);
+
+    // graph_build: one op = one full G(n, r) construction.
+    results.push_back(time_kernel("graph_build", n, budget_ms, [&] {
+      const auto graph =
+          gg::graph::GeometricGraph::sample(n, kRadiusMultiplier, build_rng);
+      g_sink = g_sink + static_cast<double>(graph.adjacency().edge_count());
+      return std::uint64_t{1};
+    }));
+
+    gg::Rng graph_rng(0x96af + n);
+    const auto graph =
+        gg::graph::GeometricGraph::sample(n, kRadiusMultiplier, graph_rng);
+
+    gg::Rng query_rng(0x9ee1 + n);
+    results.push_back(time_kernel("nearest_query", n, budget_ms, [&] {
+      constexpr std::uint64_t kBatch = 1024;
+      std::uint32_t acc = 0;
+      for (std::uint64_t i = 0; i < kBatch; ++i) {
+        const gg::geometry::Vec2 q{query_rng.next_double(),
+                                   query_rng.next_double()};
+        acc += graph.nearest_node(q);
+      }
+      g_sink = g_sink + acc;
+      return kBatch;
+    }));
+
+    gg::Rng route_rng(0x90f7 + n);
+    results.push_back(time_kernel("route_to_node", n, budget_ms, [&] {
+      constexpr std::uint64_t kBatch = 256;
+      std::uint64_t hops = 0;
+      for (std::uint64_t i = 0; i < kBatch; ++i) {
+        const auto src = static_cast<gg::graph::NodeId>(route_rng.below(n));
+        const auto dst = static_cast<gg::graph::NodeId>(
+            route_rng.below_excluding(n, src));
+        hops += gg::routing::route_to_node(graph, src, dst).hops;
+      }
+      g_sink = g_sink + static_cast<double>(hops);
+      return kBatch;
+    }));
+
+    {
+      gg::Rng tick_rng(0x71c6 + n);
+      gg::gossip::PairwiseGossip protocol(graph, make_field(n, tick_rng),
+                                          tick_rng);
+      gg::sim::AsyncClock clock(static_cast<std::uint32_t>(n), tick_rng);
+      results.push_back(
+          time_kernel("gossip_tick_pairwise", n, budget_ms, [&] {
+            constexpr std::uint64_t kBatch = 4096;
+            for (std::uint64_t i = 0; i < kBatch; ++i) {
+              protocol.on_tick(clock.next());
+            }
+            g_sink = g_sink + protocol.values().back();
+            return kBatch;
+          }));
+
+      // convergence_check: the per-checkpoint test exactly as
+      // run_to_epsilon executes it.
+      results.push_back(time_kernel("convergence_check", n, budget_ms, [&] {
+        constexpr std::uint64_t kBatch = 1024;
+        double acc = 0.0;
+        for (std::uint64_t i = 0; i < kBatch; ++i) {
+          acc += engine_check(protocol, 1.0);
+        }
+        g_sink = g_sink + acc;
+        return kBatch;
+      }));
+
+      results.push_back(
+          time_kernel("deviation_norm_exact", n, budget_ms, [&] {
+            constexpr std::uint64_t kBatch = 256;
+            double acc = 0.0;
+            for (std::uint64_t i = 0; i < kBatch; ++i) {
+              acc += gg::sim::deviation_norm(protocol.values());
+            }
+            g_sink = g_sink + acc;
+            return kBatch;
+          }));
+    }
+
+    // acceptance_setup: one op = GeographicGossip construction, which
+    // estimates the per-node Voronoi weights for rejection sampling.
+    {
+      gg::Rng setup_rng(0xacce + n);
+      auto x0 = make_field(n, setup_rng);
+      results.push_back(time_kernel("acceptance_setup", n, budget_ms, [&] {
+        gg::gossip::GeographicGossip protocol(graph, x0, setup_rng);
+        g_sink = g_sink + protocol.acceptance().front();
+        return std::uint64_t{1};
+      }));
+
+      gg::gossip::GeographicGossip protocol(graph, x0, setup_rng);
+      gg::sim::AsyncClock clock(static_cast<std::uint32_t>(n), setup_rng);
+      results.push_back(
+          time_kernel("gossip_tick_geographic", n, budget_ms, [&] {
+            constexpr std::uint64_t kBatch = 512;
+            for (std::uint64_t i = 0; i < kBatch; ++i) {
+              protocol.on_tick(clock.next());
+            }
+            g_sink = g_sink + protocol.values().back();
+            return kBatch;
+          }));
+    }
+
+    // The paper's protocols: §4.2 async state machine and the §8
+    // decentralized extension.  Both are Near-dominated.
+    {
+      gg::Rng tick_rng(0xa51c + n);
+      gg::core::HierarchyProtocolConfig config;
+      config.eps = kEpsilon;
+      gg::core::HierarchicalAffineProtocol protocol(
+          graph, make_field(n, tick_rng), tick_rng, config);
+      gg::sim::AsyncClock clock(static_cast<std::uint32_t>(n), tick_rng);
+      results.push_back(time_kernel("gossip_tick_async", n, budget_ms, [&] {
+        constexpr std::uint64_t kBatch = 2048;
+        for (std::uint64_t i = 0; i < kBatch; ++i) {
+          protocol.on_tick(clock.next());
+        }
+        g_sink = g_sink + protocol.values().back();
+        return kBatch;
+      }));
+    }
+    {
+      gg::Rng tick_rng(0xdece + n);
+      gg::core::DecentralizedAffineGossip protocol(
+          graph, make_field(n, tick_rng), tick_rng);
+      gg::sim::AsyncClock clock(static_cast<std::uint32_t>(n), tick_rng);
+      results.push_back(
+          time_kernel("gossip_tick_decentralized", n, budget_ms, [&] {
+            constexpr std::uint64_t kBatch = 2048;
+            for (std::uint64_t i = 0; i < kBatch; ++i) {
+              protocol.on_tick(clock.next());
+            }
+            g_sink = g_sink + protocol.values().back();
+            return kBatch;
+          }));
+    }
+  }
+
+  // End-to-end: fresh graph + protocol + run to the epsilon target, the
+  // exact shape of one E5/E10/E11 replicate.
+  for (const std::size_t n : e2e_ns) {
+    {
+      gg::Rng rng(0xe2e0 + n);
+      const auto graph =
+          gg::graph::GeometricGraph::sample(n, kRadiusMultiplier, rng);
+      results.push_back(
+          time_kernel("run_to_epsilon_pairwise", n, budget_ms, [&] {
+            gg::gossip::PairwiseGossip protocol(graph, make_field(n, rng),
+                                                rng);
+            gg::sim::RunConfig config;
+            config.epsilon = kEpsilon;
+            config.max_ticks = pairwise_tick_cap(n);
+            const auto run = gg::sim::run_to_epsilon(protocol, rng, config);
+            g_sink = g_sink + run.final_error;
+            return std::uint64_t{1};
+          }));
+    }
+    {
+      gg::Rng rng(0xe2e1 + n);
+      const auto graph =
+          gg::graph::GeometricGraph::sample(n, kRadiusMultiplier, rng);
+      results.push_back(
+          time_kernel("run_to_epsilon_geographic", n, budget_ms, [&] {
+            gg::gossip::GeographicGossip protocol(graph, make_field(n, rng),
+                                                  rng);
+            gg::sim::RunConfig config;
+            config.epsilon = kEpsilon;
+            config.max_ticks = geographic_tick_cap(n);
+            const auto run = gg::sim::run_to_epsilon(protocol, rng, config);
+            g_sink = g_sink + run.final_error;
+            return std::uint64_t{1};
+          }));
+    }
+    // The §4.2 state machine's calibrated budgets make its honest
+    // convergence time at n = 4096 tens of seconds even when the
+    // simulator is fast; keep its end-to-end kernel at n = 1024 so the
+    // harness stays runnable in CI (gossip_tick_async covers larger n).
+    if (n <= 1024) {
+      gg::Rng rng(0xe2e2 + n);
+      const auto graph =
+          gg::graph::GeometricGraph::sample(n, kRadiusMultiplier, rng);
+      results.push_back(
+          time_kernel("run_to_epsilon_async", n, budget_ms, [&] {
+            gg::core::HierarchyProtocolConfig protocol_config;
+            protocol_config.eps = kEpsilon;
+            gg::core::HierarchicalAffineProtocol protocol(
+                graph, make_field(n, rng), rng, protocol_config);
+            gg::sim::RunConfig config;
+            config.epsilon = kEpsilon;
+            config.max_ticks = state_machine_tick_cap(n);
+            const auto run = gg::sim::run_to_epsilon(protocol, rng, config);
+            g_sink = g_sink + run.final_error;
+            return std::uint64_t{1};
+          }));
+    }
+    {
+      gg::Rng rng(0xe2e3 + n);
+      const auto graph =
+          gg::graph::GeometricGraph::sample(n, kRadiusMultiplier, rng);
+      results.push_back(
+          time_kernel("run_to_epsilon_decentralized", n, budget_ms, [&] {
+            gg::core::DecentralizedAffineGossip protocol(
+                graph, make_field(n, rng), rng);
+            gg::sim::RunConfig config;
+            config.epsilon = kEpsilon;
+            config.max_ticks = state_machine_tick_cap(n);
+            const auto run = gg::sim::run_to_epsilon(protocol, rng, config);
+            g_sink = g_sink + run.final_error;
+            return std::uint64_t{1};
+          }));
+    }
+  }
+
+  std::printf("%-28s %9s %14s %10s %12s\n", "kernel", "n", "ns/op", "ops",
+              "total_ms");
+  for (const auto& r : results) {
+    std::printf("%-28s %9zu %14.1f %10llu %12.1f\n", r.name.c_str(), r.n,
+                r.ns_per_op, static_cast<unsigned long long>(r.ops),
+                r.total_ms);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    append_json(out, results, quick);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/decentralized.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "core/affine.hpp"
 #include "core/round_protocol.hpp"
@@ -37,6 +38,18 @@ DecentralizedAffineGossip::DecentralizedAffineGossip(
     if (occupancy_[cell] > 0) nonempty_squares_.push_back(cell);
   }
 
+  // Per-node in-square peer slices, self first (see header).
+  square_peer_start_.assign(n + 1, 0);
+  square_peers_.reserve(n + 2 * graph.adjacency().edge_count());
+  for (std::uint32_t node = 0; node < n; ++node) {
+    square_peers_.push_back(node);
+    for (const NodeId u : graph.neighbors(node)) {
+      if (square_of_[u] == square_of_[node]) square_peers_.push_back(u);
+    }
+    square_peer_start_[node + 1] = square_peers_.size();
+  }
+  square_peers_.shrink_to_fit();  // only the in-square subset is kept
+
   if (config.far_probability > 0.0) {
     far_probability_ = std::min(1.0, config.far_probability);
   } else {
@@ -48,19 +61,12 @@ DecentralizedAffineGossip::DecentralizedAffineGossip(
 }
 
 void DecentralizedAffineGossip::near(NodeId node) {
-  // Uniform neighbour inside the own square (reservoir over the scan).
-  const std::uint16_t home = square_of_[node];
-  std::uint32_t candidates = 0;
-  NodeId chosen = node;
-  for (const NodeId u : graph_->neighbors(node)) {
-    if (square_of_[u] != home) continue;
-    ++candidates;
-    if (rng_->below(candidates) == 0) chosen = u;
-  }
-  if (candidates == 0) return;
-  const double average = 0.5 * (x_[node] + x_[chosen]);
-  x_[node] = average;
-  x_[chosen] = average;
+  // Uniform neighbour inside the own square (self-first peer slice).
+  const std::uint64_t begin = square_peer_start_[node];
+  const std::uint64_t count = square_peer_start_[node + 1] - begin;
+  if (count < 2) return;
+  const NodeId chosen = square_peers_[begin + 1 + rng_->below(count - 1)];
+  apply_pair_average(node, chosen);
   meter_.add(sim::TxCategory::kLocal, 2);
   ++near_exchanges_;
 }
@@ -69,18 +75,12 @@ void DecentralizedAffineGossip::dilute(NodeId node) {
   // Local gather + broadcast over the in-square one-hop neighbourhood:
   // every participant ends at the neighbourhood mean.  Cost: one gather
   // and one broadcast transmission per neighbour.
-  const std::uint16_t home = square_of_[node];
-  scratch_.clear();
-  scratch_.push_back(node);
-  for (const NodeId u : graph_->neighbors(node)) {
-    if (square_of_[u] == home) scratch_.push_back(u);
-  }
-  if (scratch_.size() < 2) return;
-  double mean = 0.0;
-  for (const NodeId u : scratch_) mean += x_[u];
-  mean /= static_cast<double>(scratch_.size());
-  for (const NodeId u : scratch_) x_[u] = mean;
-  meter_.add(sim::TxCategory::kLocal, 2 * (scratch_.size() - 1));
+  const std::uint64_t begin = square_peer_start_[node];
+  const std::uint64_t count = square_peer_start_[node + 1] - begin;
+  if (count < 2) return;
+  apply_average(
+      std::span<const NodeId>(square_peers_.data() + begin, count));
+  meter_.add(sim::TxCategory::kLocal, 2 * (count - 1));
 }
 
 void DecentralizedAffineGossip::far(NodeId node) {
@@ -118,7 +118,7 @@ void DecentralizedAffineGossip::far(NodeId node) {
   const double beta = exchange_beta(
       BetaMode::kActualHarmonic, 1.0,
       occupancy_[home], occupancy_[square_of_[peer]]);
-  affine_jump_update(x_[node], x_[peer], beta);
+  apply_affine_jump(node, peer, beta);
   ++far_exchanges_;
 
   if (config_.dilute_jumps) {

@@ -80,7 +80,12 @@ class DecentralizedAffineGossip final : public gossip::ValueProtocol {
   std::vector<std::uint16_t> square_of_;       ///< node -> flat square id
   std::vector<std::uint32_t> occupancy_;       ///< per-square sensor count
   std::vector<std::uint32_t> nonempty_squares_;
-  std::vector<graph::NodeId> scratch_;
+  /// Per-node [node, in-square one-hop neighbours...] (CSR).  Near picks a
+  /// uniform entry after the self slot (one RNG draw instead of a
+  /// reservoir pass with a draw per in-square candidate); dilute averages
+  /// the whole slice in place.
+  std::vector<std::uint64_t> square_peer_start_;
+  std::vector<graph::NodeId> square_peers_;
   double far_probability_ = 0.0;
   std::uint64_t far_exchanges_ = 0;
   std::uint64_t near_exchanges_ = 0;

@@ -42,6 +42,18 @@ HierarchicalAffineProtocol::HierarchicalAffineProtocol(
 
   compute_budgets();
 
+  // Same-leaf neighbour lists for Near (see header).
+  leaf_peer_start_.assign(n + 1, 0);
+  leaf_peers_.reserve(2 * graph.adjacency().edge_count());
+  for (std::uint32_t node = 0; node < n; ++node) {
+    const int leaf = hierarchy_.leaf_of(node);
+    for (const NodeId u : graph.neighbors(node)) {
+      if (hierarchy_.leaf_of(u) == leaf) leaf_peers_.push_back(u);
+    }
+    leaf_peer_start_[node + 1] = leaf_peers_.size();
+  }
+  leaf_peers_.shrink_to_fit();  // only the in-leaf subset is kept
+
   // Initialization (§4.2): only the root representative's global.state is on.
   const auto& root = hierarchy_.square(hierarchy_.root());
   GG_CHECK(root.representative >= 0, "root square has no representative");
@@ -151,18 +163,11 @@ void HierarchicalAffineProtocol::deactivate_square(int square_id) {
 
 void HierarchicalAffineProtocol::near(NodeId node) {
   // Average with a uniform neighbour inside the same leaf square.
-  const int leaf = hierarchy_.leaf_of(node);
-  std::uint32_t candidates = 0;
-  NodeId chosen = node;
-  for (const NodeId u : graph_->neighbors(node)) {
-    if (hierarchy_.leaf_of(u) != leaf) continue;
-    ++candidates;
-    if (rng_->below(candidates) == 0) chosen = u;  // reservoir pick
-  }
-  if (candidates == 0) return;
-  const double average = 0.5 * (x_[node] + x_[chosen]);
-  x_[node] = average;
-  x_[chosen] = average;
+  const std::uint64_t begin = leaf_peer_start_[node];
+  const std::uint64_t count = leaf_peer_start_[node + 1] - begin;
+  if (count == 0) return;
+  const NodeId chosen = leaf_peers_[begin + rng_->below(count)];
+  apply_pair_average(node, chosen);
   meter_.add(sim::TxCategory::kLocal, 2);
   ++near_exchanges_;
 }
@@ -194,7 +199,7 @@ void HierarchicalAffineProtocol::far(NodeId node, int square_id) {
       exchange_beta(config_.beta_mode, sq.expected_occupancy,
                     std::max<std::size_t>(1, sq.occupancy()),
                     std::max<std::size_t>(1, sibling.occupancy()));
-  affine_jump_update(x_[node], x_[peer], beta);
+  apply_affine_jump(node, peer, beta);
   ++far_exchanges_;
 
   // §4.2 Far step 5 + the post-Far reset: both representatives restart

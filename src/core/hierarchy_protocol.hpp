@@ -114,6 +114,13 @@ class HierarchicalAffineProtocol final : public gossip::ValueProtocol {
   std::vector<std::uint8_t> global_on_;
   std::vector<std::uint32_t> counter_;
 
+  // Same-leaf neighbour lists (CSR).  Near fires on a large share of all
+  // ticks; picking a uniform in-leaf neighbour from a precomputed list is
+  // one RNG draw instead of a reservoir pass over the whole
+  // neighbourhood (an RNG draw per in-leaf candidate).
+  std::vector<std::uint64_t> leaf_peer_start_;
+  std::vector<graph::NodeId> leaf_peers_;
+
   // Per-square derived quantities.
   std::vector<double> t_avg_;        ///< bottom-up averaging latency
   std::vector<double> p_far_;        ///< per-tick Far probability of the rep

@@ -42,28 +42,19 @@ MultilevelAffineGossip::MultilevelAffineGossip(
   resync_tracking();
 }
 
-double MultilevelAffineGossip::value_sum() const noexcept { return sum_; }
+double MultilevelAffineGossip::value_sum() const noexcept {
+  return tracker_.sum();
+}
 
 void MultilevelAffineGossip::set_value(std::uint32_t node, double value) {
-  const double old = x_[node];
-  sum_ += value - old;
-  sum_sq_ += value * value - old * old;
+  tracker_.update(x_[node], value);
   x_[node] = value;
 }
 
-void MultilevelAffineGossip::resync_tracking() {
-  sum_ = 0.0;
-  sum_sq_ = 0.0;
-  for (const double v : x_) {
-    sum_ += v;
-    sum_sq_ += v * v;
-  }
-}
+void MultilevelAffineGossip::resync_tracking() { tracker_.reset(x_); }
 
 double MultilevelAffineGossip::deviation_norm_tracked() const {
-  const double n = static_cast<double>(x_.size());
-  const double dev_sq = sum_sq_ - sum_ * sum_ / n;
-  return std::sqrt(std::max(0.0, dev_sq));
+  return std::sqrt(tracker_.deviation_sq());
 }
 
 double MultilevelAffineGossip::eps_at_depth(int depth) const {

@@ -32,6 +32,7 @@
 #include "core/round_protocol.hpp"
 #include "geometry/hierarchy.hpp"
 #include "graph/geometric_graph.hpp"
+#include "sim/deviation_tracker.hpp"
 #include "sim/metrics.hpp"
 #include "support/rng.hpp"
 
@@ -126,9 +127,8 @@ class MultilevelAffineGossip {
       route_cache_;
   std::uint64_t alpha_out_of_range_ = 0;
 
-  // Incremental deviation tracking: sum_ and sum_sq_ of x_.
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  // Incremental deviation tracking (shifted + Neumaier-compensated).
+  sim::DeviationTracker tracker_;
 };
 
 }  // namespace geogossip::core

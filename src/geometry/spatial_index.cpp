@@ -1,7 +1,5 @@
 #include "geometry/spatial_index.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "support/check.hpp"
@@ -39,49 +37,41 @@ BucketGrid::BucketGrid(const std::vector<Vec2>& points, const Rect& region,
 }
 
 int BucketGrid::bucket_of(Vec2 p) const noexcept {
-  auto col = static_cast<int>((p.x - region_.lo().x) / cell_size_);
-  auto row = static_cast<int>((p.y - region_.lo().y) / cell_size_);
-  col = std::clamp(col, 0, side_ - 1);
-  row = std::clamp(row, 0, side_ - 1);
-  return row * side_ + col;
+  return row_of(p) * side_ + col_of(p);
 }
 
 void BucketGrid::for_each_within(
     Vec2 p, double radius,
     const std::function<void(std::uint32_t)>& fn) const {
-  GG_CHECK_ARG(radius >= 0.0, "for_each_within: radius must be >= 0");
-  const double r_sq = radius * radius;
-  const int reach = static_cast<int>(std::ceil(radius / cell_size_));
-  const int pcol = std::clamp(
-      static_cast<int>((p.x - region_.lo().x) / cell_size_), 0, side_ - 1);
-  const int prow = std::clamp(
-      static_cast<int>((p.y - region_.lo().y) / cell_size_), 0, side_ - 1);
-  for (int row = std::max(0, prow - reach);
-       row <= std::min(side_ - 1, prow + reach); ++row) {
-    for (int col = std::max(0, pcol - reach);
-         col <= std::min(side_ - 1, pcol + reach); ++col) {
-      const auto b = static_cast<std::size_t>(row * side_ + col);
-      for (std::uint32_t e = bucket_start_[b]; e < bucket_start_[b + 1];
-           ++e) {
-        const std::uint32_t idx = entries_[e];
-        if (distance_sq((*points_)[idx], p) <= r_sq) fn(idx);
-      }
-    }
-  }
+  for_each_within(p, radius, [&fn](std::uint32_t idx) { fn(idx); });
 }
 
 std::vector<std::uint32_t> BucketGrid::within(Vec2 p, double radius) const {
   std::vector<std::uint32_t> out;
+  // Upper bound on candidates: each scanned row's buckets are contiguous
+  // in the CSR, so the occupancy of the whole scan window is a handful of
+  // subtractions — one exact reserve instead of push_back growth doublings.
+  const int reach = static_cast<int>(std::ceil(radius / cell_size_));
+  const int pcol = col_of(p);
+  const int prow = row_of(p);
+  const int col_lo = std::max(0, pcol - reach);
+  const int col_hi = std::min(side_ - 1, pcol + reach);
+  std::size_t candidates = 0;
+  for (int row = std::max(0, prow - reach);
+       row <= std::min(side_ - 1, prow + reach); ++row) {
+    const auto lo = static_cast<std::size_t>(row * side_ + col_lo);
+    const auto hi = static_cast<std::size_t>(row * side_ + col_hi);
+    candidates += bucket_start_[hi + 1] - bucket_start_[lo];
+  }
+  out.reserve(candidates);
   for_each_within(p, radius, [&out](std::uint32_t idx) { out.push_back(idx); });
   return out;
 }
 
 std::optional<std::uint32_t> BucketGrid::nearest(Vec2 p) const {
   if (points_->empty()) return std::nullopt;
-  const int pcol = std::clamp(
-      static_cast<int>((p.x - region_.lo().x) / cell_size_), 0, side_ - 1);
-  const int prow = std::clamp(
-      static_cast<int>((p.y - region_.lo().y) / cell_size_), 0, side_ - 1);
+  const int pcol = col_of(p);
+  const int prow = row_of(p);
 
   double best_sq = std::numeric_limits<double>::infinity();
   std::uint32_t best = 0;
@@ -149,29 +139,49 @@ std::optional<std::uint32_t> BucketGrid::nearest_in_rect(
 
 std::vector<std::uint32_t> BucketGrid::points_in_rect(const Rect& rect) const {
   std::vector<std::uint32_t> out;
-  const int col_lo = std::clamp(
-      static_cast<int>((rect.lo().x - region_.lo().x) / cell_size_), 0,
-      side_ - 1);
-  const int col_hi = std::clamp(
-      static_cast<int>((rect.hi().x - region_.lo().x) / cell_size_), 0,
-      side_ - 1);
-  const int row_lo = std::clamp(
-      static_cast<int>((rect.lo().y - region_.lo().y) / cell_size_), 0,
-      side_ - 1);
-  const int row_hi = std::clamp(
-      static_cast<int>((rect.hi().y - region_.lo().y) / cell_size_), 0,
-      side_ - 1);
+  const int col_lo = col_of(rect.lo());
+  const int col_hi = col_of(rect.hi());
+  const int row_lo = row_of(rect.lo());
+  const int row_hi = row_of(rect.hi());
+  // Half-open membership, except along the indexed region's own closed hi
+  // boundary: the constructor accepts points sitting exactly on it (via
+  // contains_closed), so a rect edge that reaches the region edge must
+  // include them too or they silently vanish from every rect query.
+  const bool closed_x = rect.hi().x >= region_.hi().x;
+  const bool closed_y = rect.hi().y >= region_.hi().y;
   for (int row = row_lo; row <= row_hi; ++row) {
     for (int col = col_lo; col <= col_hi; ++col) {
       const auto b = static_cast<std::size_t>(row * side_ + col);
       for (std::uint32_t e = bucket_start_[b]; e < bucket_start_[b + 1];
            ++e) {
         const std::uint32_t idx = entries_[e];
-        if (rect.contains((*points_)[idx])) out.push_back(idx);
+        const Vec2 p = (*points_)[idx];
+        const bool in_x =
+            p.x >= rect.lo().x &&
+            (p.x < rect.hi().x || (closed_x && p.x == rect.hi().x));
+        const bool in_y =
+            p.y >= rect.lo().y &&
+            (p.y < rect.hi().y || (closed_y && p.y == rect.hi().y));
+        if (in_x && in_y) out.push_back(idx);
       }
     }
   }
   return out;
+}
+
+Rect BucketGrid::bucket_rect(int row, int col) const {
+  GG_CHECK_ARG(row >= 0 && row < side_ && col >= 0 && col < side_,
+               "bucket_rect: bucket out of range");
+  const Vec2 lo{region_.lo().x + col * cell_size_,
+                region_.lo().y + row * cell_size_};
+  // The grid is sized to the region's larger extent, so on a non-square
+  // region whole rows/columns of buckets lie beyond the smaller side;
+  // they hold no points and have no rectangle inside the region.
+  GG_CHECK_ARG(lo.x < region_.hi().x && lo.y < region_.hi().y,
+               "bucket_rect: bucket lies outside the region");
+  const Vec2 hi{std::min(region_.hi().x, lo.x + cell_size_),
+                std::min(region_.hi().y, lo.y + cell_size_)};
+  return Rect(lo, hi);
 }
 
 }  // namespace geogossip::geometry

@@ -1,11 +1,21 @@
 // Shared state for value-carrying gossip protocols on a geometric graph.
+//
+// ValueProtocol owns the per-node values and centralizes EVERY mutation of
+// them behind a small update API (apply_pair_average / apply_average /
+// apply_affine_jump / set_value).  Routing all writes through one place
+// lets the base class maintain the deviation norm ||x - mean||^2
+// incrementally (Neumaier-compensated, with a periodic exact refresh to
+// bound FP drift), which turns the engine's convergence check from an O(n)
+// recomputation every n ticks into an O(1) read every tick.
 #ifndef GEOGOSSIP_GOSSIP_BASE_HPP
 #define GEOGOSSIP_GOSSIP_BASE_HPP
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/geometric_graph.hpp"
+#include "sim/deviation_tracker.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "support/rng.hpp"
@@ -13,7 +23,8 @@
 namespace geogossip::gossip {
 
 /// Base class: holds the graph reference, per-node values, the RNG stream
-/// and the transmission meter.  Derived classes implement on_tick().
+/// and the transmission meter.  Derived classes implement on_tick() and
+/// mutate values only through the protected update API.
 class ValueProtocol : public sim::GossipProtocol {
  public:
   ValueProtocol(const graph::GeometricGraph& graph, std::vector<double> x0,
@@ -22,16 +33,56 @@ class ValueProtocol : public sim::GossipProtocol {
   std::span<const double> values() const override { return x_; }
   const sim::TxMeter& meter() const override { return meter_; }
 
-  /// Invariant observed by tests: pairwise/affine exchanges conserve the sum.
+  /// O(1): incrementally tracked ||x - mean||^2.
+  double deviation_sq() const override { return tracker_.deviation_sq(); }
+  bool tracks_deviation() const override { return true; }
+
+  /// Invariant observed by tests: pairwise/affine exchanges conserve the
+  /// sum.  Recomputed exactly (O(n)) so conservation checks do not inherit
+  /// tracker error.
   double value_sum() const noexcept;
 
   const graph::GeometricGraph& graph() const noexcept { return *graph_; }
 
+  /// Element updates between exact tracker refreshes (drift bound).
+  /// Requires interval >= 1.
+  void set_tracker_refresh_interval(std::uint64_t interval);
+  std::uint64_t tracker_refresh_interval() const noexcept {
+    return refresh_interval_;
+  }
+  /// Exact refreshes performed so far (cadence observability for tests).
+  std::uint64_t tracker_refreshes() const noexcept { return refreshes_; }
+
  protected:
+  /// Read access; writes must go through the update API below.
+  double value(graph::NodeId node) const { return x_[node]; }
+
+  /// Both nodes adopt their pairwise average.
+  void apply_pair_average(graph::NodeId a, graph::NodeId b);
+
+  /// Every listed node adopts the mean of the listed nodes (path
+  /// averaging, neighbourhood dilution).  Nodes must be distinct.
+  void apply_average(std::span<const graph::NodeId> nodes);
+
+  /// The paper's mirrored affine jump: both endpoints move by
+  /// beta * (other - self) on pre-update values (sum-preserving).
+  void apply_affine_jump(graph::NodeId a, graph::NodeId b, double beta);
+
+  /// Arbitrary single-value write (escape hatch; still tracked).
+  void set_value(graph::NodeId node, double value);
+
   const graph::GeometricGraph* graph_;
-  std::vector<double> x_;
   Rng* rng_;
   sim::TxMeter meter_;
+
+ private:
+  void note_updates(std::uint64_t count);
+
+  std::vector<double> x_;
+  sim::DeviationTracker tracker_;
+  std::uint64_t refresh_interval_;
+  std::uint64_t updates_since_refresh_ = 0;
+  std::uint64_t refreshes_ = 0;
 };
 
 }  // namespace geogossip::gossip

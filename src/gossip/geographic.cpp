@@ -1,6 +1,8 @@
 #include "gossip/geographic.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "routing/greedy.hpp"
 #include "support/check.hpp"
@@ -8,6 +10,7 @@
 namespace geogossip::gossip {
 
 using geometry::Vec2;
+using geometry::distance_sq;
 using graph::NodeId;
 
 GeographicGossip::GeographicGossip(const graph::GeometricGraph& graph,
@@ -19,20 +22,130 @@ GeographicGossip::GeographicGossip(const graph::GeometricGraph& graph,
 
 void GeographicGossip::estimate_acceptance() {
   const std::size_t n = graph_->node_count();
-  const std::uint64_t samples =
-      static_cast<std::uint64_t>(options_.weight_samples_per_node) * n;
-  GG_CHECK_ARG(samples > 0, "weight_samples_per_node must be positive");
+  GG_CHECK_ARG(options_.weight_samples_per_node > 0,
+               "weight_samples_per_node must be positive");
 
   // q_hat[i] ~ P(node i is nearest to a uniform position) — proportional to
-  // the area of i's Voronoi cell intersected with the region.
+  // the area of i's Voronoi cell intersected with the region.  Sampling is
+  // stratified over the spatial index's own buckets: each bucket receives
+  // samples in proportion to its area (unbiased for the uniform measure,
+  // lower variance than i.i.d. positions), and all samples of a bucket
+  // share one precomputed candidate list read straight out of the grid's
+  // CSR — amortizing the per-query ring walk the old Monte-Carlo loop paid
+  // weight_samples_per_node * n times.
   std::vector<double> q_hat(n, 0.0);
+  const auto& grid = graph_->index();
   const auto& region = graph_->region();
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const Vec2 p{rng_->uniform(region.lo().x, region.hi().x),
-                 rng_->uniform(region.lo().y, region.hi().y)};
-    q_hat[graph_->nearest_node(p)] += 1.0;
+  const auto& points = graph_->points();
+  const int side = grid.side();
+  const double cell = grid.cell_size();
+  const double target_samples =
+      static_cast<double>(options_.weight_samples_per_node) *
+      static_cast<double>(n);
+
+  // Per-bucket candidates sorted by distance to the bucket centre, so the
+  // per-sample scan can stop early via the triangle inequality.
+  struct Candidate {
+    double center_dist;
+    std::uint32_t index;
+  };
+  std::vector<Candidate> candidates;
+  std::uint64_t total_samples = 0;
+  // Largest-remainder (Bresenham) allocation over the cumulative covered
+  // area: per-bucket counts stay proportional to area within +-1 sample
+  // and the grand total always equals the target, so tiny edge buckets
+  // are never all rounded to zero (which would both bias q_hat low for
+  // their nodes and leave total_samples == 0 on fine grids).
+  double covered_area = 0.0;
+  std::uint64_t allocated = 0;
+
+  for (int row = 0; row < side; ++row) {
+    for (int col = 0; col < side; ++col) {
+      // Skip buckets of a non-square region's grid that lie entirely
+      // outside it (the grid is sized to the larger extent).
+      if (region.lo().x + col * cell >= region.hi().x ||
+          region.lo().y + row * cell >= region.hi().y) {
+        continue;
+      }
+      const geometry::Rect bucket = grid.bucket_rect(row, col);
+      const double x_lo = bucket.lo().x;
+      const double y_lo = bucket.lo().y;
+      const double x_hi = bucket.hi().x;
+      const double y_hi = bucket.hi().y;
+      covered_area += bucket.area();
+      const auto upto = static_cast<std::uint64_t>(std::llround(
+          target_samples * std::min(1.0, covered_area / region.area())));
+      const std::uint64_t samples = upto - allocated;
+      allocated = upto;
+      if (samples == 0) continue;
+
+      // Gather every point that can be nearest to some position in this
+      // bucket: expanding Chebyshev rings, stopping once unscanned rings
+      // (distance >= ring * cell from the bucket) cannot beat the best
+      // covering candidate (min over candidates of the distance to the
+      // bucket's farthest corner).
+      candidates.clear();
+      const Vec2 center{0.5 * (x_lo + x_hi), 0.5 * (y_lo + y_hi)};
+      double cover_sq = std::numeric_limits<double>::infinity();
+      for (int ring = 0;; ++ring) {
+        const int row_lo = row - ring;
+        const int row_hi = row + ring;
+        const int col_lo = col - ring;
+        const int col_hi = col + ring;
+        bool scanned_any = false;
+        for (int rr = std::max(0, row_lo); rr <= std::min(side - 1, row_hi);
+             ++rr) {
+          for (int cc = std::max(0, col_lo);
+               cc <= std::min(side - 1, col_hi); ++cc) {
+            const bool on_ring = rr == row_lo || rr == row_hi ||
+                                 cc == col_lo || cc == col_hi;
+            if (!on_ring) continue;
+            scanned_any = true;
+            for (const std::uint32_t idx : grid.bucket_entries(rr, cc)) {
+              const Vec2 p = points[idx];
+              candidates.push_back({geometry::distance(p, center), idx});
+              const double dx = std::max(p.x - x_lo, x_hi - p.x);
+              const double dy = std::max(p.y - y_lo, y_hi - p.y);
+              cover_sq = std::min(cover_sq, dx * dx + dy * dy);
+            }
+          }
+        }
+        const double ring_min = static_cast<double>(ring) * cell;
+        if (!candidates.empty() && ring_min * ring_min > cover_sq) break;
+        if (!scanned_any && ring > side) break;
+      }
+      if (candidates.empty()) continue;  // empty deployment corner
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.center_dist < b.center_dist;
+                });
+      const double half_diag =
+          0.5 * std::sqrt((x_hi - x_lo) * (x_hi - x_lo) +
+                          (y_hi - y_lo) * (y_hi - y_lo));
+
+      for (std::uint64_t s = 0; s < samples; ++s) {
+        const Vec2 q{rng_->uniform(x_lo, x_hi), rng_->uniform(y_lo, y_hi)};
+        double best_sq = std::numeric_limits<double>::infinity();
+        double best_reach = std::numeric_limits<double>::infinity();
+        std::uint32_t best = candidates.front().index;
+        for (const Candidate& c : candidates) {
+          // q lies within half_diag of the centre, so any candidate with
+          // center_dist > best + half_diag cannot beat the current best.
+          if (c.center_dist > best_reach) break;
+          const double d_sq = distance_sq(points[c.index], q);
+          if (d_sq < best_sq || (d_sq == best_sq && c.index < best)) {
+            best_sq = d_sq;
+            best = c.index;
+            best_reach = std::sqrt(best_sq) + half_diag;
+          }
+        }
+        q_hat[best] += 1.0;
+      }
+      total_samples += samples;
+    }
   }
-  for (double& q : q_hat) q /= static_cast<double>(samples);
+  GG_CHECK(total_samples > 0, "acceptance estimation produced no samples");
+  for (double& q : q_hat) q /= static_cast<double>(total_samples);
 
   // Thinning target: accept node i with probability q_ref / q_hat[i], where
   // q_ref is the smallest positive estimate.  Nodes never sampled keep
@@ -87,9 +200,7 @@ void GeographicGossip::on_tick(const sim::Tick& tick) {
     return;  // atomic commit: no state change on a failed round trip
   }
 
-  const double average = 0.5 * (x_[source] + x_[target]);
-  x_[source] = average;
-  x_[target] = average;
+  apply_pair_average(source, target);
   ++exchanges_;
 }
 

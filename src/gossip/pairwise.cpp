@@ -13,9 +13,7 @@ void PairwiseGossip::on_tick(const sim::Tick& tick) {
     return;
   }
   const graph::NodeId peer = neighbors[rng_->below(neighbors.size())];
-  const double average = 0.5 * (x_[tick.node] + x_[peer]);
-  x_[tick.node] = average;
-  x_[peer] = average;
+  apply_pair_average(tick.node, peer);
   meter_.add(sim::TxCategory::kLocal, 2);  // value out + value back
 }
 

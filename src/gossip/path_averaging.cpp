@@ -8,7 +8,11 @@ using geometry::Vec2;
 
 PathAveragingGossip::PathAveragingGossip(const graph::GeometricGraph& graph,
                                          std::vector<double> x0, Rng& rng)
-    : ValueProtocol(graph, std::move(x0), rng) {}
+    : ValueProtocol(graph, std::move(x0), rng) {
+  // Longest possible trace up front; the buffer is cleared but never
+  // shrunk, so every round after the first routes allocation-free.
+  scratch_path_.reserve(routing::default_hop_budget(graph) + 1);
+}
 
 void PathAveragingGossip::on_tick(const sim::Tick& tick) {
   const auto& region = graph_->region();
@@ -25,10 +29,7 @@ void PathAveragingGossip::on_tick(const sim::Tick& tick) {
   // Gather on the way out, distribute on the way back: 2 * hops.
   meter_.add(sim::TxCategory::kLongRange, 2ull * route.hops);
 
-  double sum = 0.0;
-  for (const auto node : scratch_path_) sum += x_[node];
-  const double average = sum / static_cast<double>(scratch_path_.size());
-  for (const auto node : scratch_path_) x_[node] = average;
+  apply_average(scratch_path_);
 
   ++rounds_;
   total_path_nodes_ += scratch_path_.size();

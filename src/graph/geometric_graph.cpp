@@ -1,6 +1,10 @@
 #include "graph/geometric_graph.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "geometry/sampling.hpp"
 #include "graph/radius.hpp"
@@ -29,13 +33,108 @@ GeometricGraph::GeometricGraph(std::vector<geometry::Vec2> points, double r,
     });
   }
   csr_ = CsrGraph::from_edges(static_cast<NodeId>(points_.size()), edges);
+
+  // Routing-ordered mirror of the CSR: neighbours grouped into annuli by
+  // distance from the node, farthest annulus first, each entry carrying
+  // its annulus's (conservative, rounded-up) outer radius.  The greedy
+  // scan's triangle-inequality pruning only needs a non-increasing upper
+  // bound per entry, so annulus granularity keeps it exact while the
+  // grouping is an O(degree) counting sort instead of a comparison sort.
+  constexpr int kAnnuli = kRoutingAnnuli;
+  double edge_sq[kAnnuli + 1];  // edge_sq[a] = (r * (kAnnuli - a) / K)^2
+  float bound_up[kAnnuli];
+  for (int a = 0; a <= kAnnuli; ++a) {
+    const double edge = r_ * static_cast<double>(kAnnuli - a) / kAnnuli;
+    edge_sq[a] = edge * edge;
+    if (a < kAnnuli) {
+      float up = static_cast<float>(edge);
+      if (static_cast<double>(up) < edge) {
+        up = std::nextafter(up, std::numeric_limits<float>::infinity());
+      }
+      bound_up[a] = up;
+    }
+  }
+
+  route_offsets_.resize(points_.size() + 1);
+  route_offsets_[0] = 0;
+  route_ids_.resize(2 * csr_.edge_count());
+  route_radii_.resize(2 * csr_.edge_count());
+  std::vector<std::uint8_t> annulus_of;  // per-neighbour scratch, reused
+  std::size_t base = 0;
+  for (std::size_t v = 0; v < points_.size(); ++v) {
+    const auto neighbors = csr_.neighbors(static_cast<NodeId>(v));
+    annulus_of.resize(neighbors.size());
+    std::uint32_t cursor[kAnnuli] = {};
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const double d_sq =
+          geometry::distance_sq(points_[v], points_[neighbors[k]]);
+      // Largest annulus index with d_sq <= its outer edge (binary
+      // search: a linear walk is O(K) per edge and shows in the build).
+      int lo = 0;
+      int hi = kAnnuli - 1;
+      while (lo < hi) {
+        const int mid = (lo + hi + 1) / 2;
+        if (d_sq <= edge_sq[mid]) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      annulus_of[k] = static_cast<std::uint8_t>(lo);
+      ++cursor[lo];
+    }
+    // Prefix-sum the per-annulus counts into slice cursors, then place.
+    std::uint32_t start = 0;
+    for (int a = 0; a < kAnnuli; ++a) {
+      const std::uint32_t count = cursor[a];
+      cursor[a] = start;
+      start += count;
+    }
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const int a = annulus_of[k];
+      const std::size_t slot = base + cursor[a]++;
+      route_ids_[slot] = neighbors[k];
+      route_radii_[slot] = bound_up[a];
+    }
+    base += neighbors.size();
+    route_offsets_[v + 1] = base;
+  }
 }
 
 GeometricGraph GeometricGraph::sample(std::size_t n, double radius_multiplier,
                                       Rng& rng) {
   GG_CHECK_ARG(n >= 2, "GeometricGraph::sample: n >= 2");
-  return GeometricGraph(geometry::sample_unit_square(n, rng),
-                        paper_radius(n, radius_multiplier));
+  auto points = geometry::sample_unit_square(n, rng);
+  const double r = paper_radius(n, radius_multiplier);
+
+  // Spatial renumbering: sort the sample into bucket row-major order (the
+  // same order the BucketGrid CSR uses) before assigning node ids.  The
+  // sample is i.i.d. — the labelling is an artifact — but the labelling
+  // decides memory layout: with spatially sorted ids, a node's neighbours
+  // occupy a handful of contiguous id runs, so the greedy-routing inner
+  // loop reads positions_ almost sequentially instead of gathering
+  // uniformly over the whole array.  At paper radii a 3-row working set
+  // fits L1 where the unsorted layout thrashes it.
+  const int side =
+      std::max(1, static_cast<int>(std::floor(1.0 / r)));
+  const double cell = 1.0 / side;
+  // One precomputed (bucket, sample index) key per point, sorted as a
+  // packed u64 — computing keys inside a comparator costs two float->int
+  // conversions per comparison and dominates the sort.
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto col = static_cast<std::uint64_t>(
+        std::min(side - 1, static_cast<int>(points[i].x / cell)));
+    const auto row = static_cast<std::uint64_t>(
+        std::min(side - 1, static_cast<int>(points[i].y / cell)));
+    keys[i] = ((row * static_cast<std::uint64_t>(side) + col) << 32) | i;
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<geometry::Vec2> sorted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted[i] = points[keys[i] & 0xffffffffull];
+  }
+  return GeometricGraph(std::move(sorted), r);
 }
 
 geometry::Vec2 GeometricGraph::position(NodeId node) const {

@@ -7,6 +7,7 @@
 #define GEOGOSSIP_GRAPH_GEOMETRIC_GRAPH_HPP
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,13 +37,41 @@ class GeometricGraph {
   const std::vector<geometry::Vec2>& points() const noexcept {
     return points_;
   }
+  /// Checked single-position lookup (wide contract).
   geometry::Vec2 position(NodeId node) const;
+  /// Flat unchecked position span for hot loops that index with ids
+  /// produced by this graph's own adjacency (greedy routing advances one
+  /// position read per candidate neighbour; the per-read bounds check and
+  /// out-of-line call of position() dominated the hop cost).
+  std::span<const geometry::Vec2> positions() const noexcept {
+    return points_;
+  }
 
   const CsrGraph& adjacency() const noexcept { return csr_; }
   std::span<const NodeId> neighbors(NodeId node) const {
     return csr_.neighbors(node);
   }
   std::size_t degree(NodeId node) const { return csr_.degree(node); }
+
+  /// Annuli per routing-ordered adjacency list (see routing_ids()).
+  static constexpr int kRoutingAnnuli = 32;
+
+  /// Routing-ordered adjacency (unchecked; ids must come from this
+  /// graph): the same neighbour set as neighbors(node), grouped into
+  /// kRoutingAnnuli distance annuli farthest-first, paired with each
+  /// annulus's outer radius rounded UP to float.  greedy_step scans this
+  /// order and stops at the first entry whose triangle-inequality bound
+  ///     dist(u, target) >= dist(node, target) - |u - node|
+  /// already rules out every remaining (nearer-to-node) neighbour — for
+  /// far targets that prunes most of the list, exactly.
+  std::span<const NodeId> routing_ids(NodeId node) const noexcept {
+    return {route_ids_.data() + route_offsets_[node],
+            route_ids_.data() + route_offsets_[node + 1]};
+  }
+  std::span<const float> routing_radii(NodeId node) const noexcept {
+    return {route_radii_.data() + route_offsets_[node],
+            route_radii_.data() + route_offsets_[node + 1]};
+  }
 
   /// Bucket-grid index over the node positions (cell size == r).
   const geometry::BucketGrid& index() const noexcept { return *index_; }
@@ -58,6 +87,10 @@ class GeometricGraph {
   geometry::Rect region_;
   std::unique_ptr<geometry::BucketGrid> index_;
   CsrGraph csr_;
+  // Routing-ordered adjacency mirroring csr_ (see routing_ids()).
+  std::vector<std::uint64_t> route_offsets_;
+  std::vector<NodeId> route_ids_;
+  std::vector<float> route_radii_;
 };
 
 }  // namespace geogossip::graph

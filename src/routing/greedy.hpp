@@ -42,7 +42,9 @@ struct RouteOptions {
   /// 0 = automatic: 4 * ceil(diagonal / r) + 16.
   std::uint32_t max_hops = 0;
   /// When non-null, the visited node sequence (including source) is
-  /// appended here.
+  /// appended here.  The routers reserve() the full hop budget up front,
+  /// so a buffer reused across rounds (clear(), keep capacity) makes
+  /// traced routing allocation-free after the first call.
   std::vector<graph::NodeId>* trace = nullptr;
 };
 

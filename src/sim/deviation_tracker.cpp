@@ -1,0 +1,37 @@
+#include "sim/deviation_tracker.hpp"
+
+#include <algorithm>
+
+namespace geogossip::sim {
+
+void DeviationTracker::reset(std::span<const double> values) {
+  n_ = values.size();
+  NeumaierSum mean_sum;
+  for (const double v : values) mean_sum.add(v);
+  shift_ = n_ == 0 ? 0.0 : mean_sum.value() / static_cast<double>(n_);
+  sum_dev_.reset();
+  sum_dev_sq_.reset();
+  for (const double v : values) {
+    const double d = v - shift_;
+    sum_dev_.add(d);
+    sum_dev_sq_.add(d * d);
+  }
+}
+
+double DeviationTracker::deviation_sq() const noexcept {
+  if (n_ == 0) return 0.0;
+  const double s1 = sum_dev_.value();
+  const double raw =
+      sum_dev_sq_.value() - s1 * s1 / static_cast<double>(n_);
+  // Clamp only the tiny negative FP residue; a diverged protocol's NaN/inf
+  // must propagate (std::max would silently swallow NaN into 0, reporting
+  // a diverged run as converged).
+  if (std::isnan(raw)) return raw;
+  return std::max(0.0, raw);
+}
+
+double DeviationTracker::sum() const noexcept {
+  return shift_ * static_cast<double>(n_) + sum_dev_.value();
+}
+
+}  // namespace geogossip::sim

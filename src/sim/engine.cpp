@@ -23,6 +23,11 @@ double relative_error(std::span<const double> values, double initial_norm) {
   return deviation_norm(values) / initial_norm;
 }
 
+double GossipProtocol::deviation_sq() const {
+  const double norm = deviation_norm(values());
+  return norm * norm;
+}
+
 std::string RunResult::to_string() const {
   std::ostringstream os;
   os << (converged ? "converged" : "NOT converged") << " after "
@@ -40,9 +45,9 @@ RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
   const auto n = static_cast<std::uint32_t>(values.size());
   GG_CHECK_ARG(n >= 1, "run_to_epsilon: protocol has no values");
 
-  const double initial_norm = deviation_norm(values);
+  const double initial_dev_sq = protocol.deviation_sq();
   RunResult result;
-  if (initial_norm == 0.0) {
+  if (initial_dev_sq <= 0.0) {
     // Already exactly averaged (constant field); nothing to do.
     result.converged = true;
     result.final_error = 0.0;
@@ -50,8 +55,16 @@ RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
     return result;
   }
 
+  // Tracking protocols get per-tick checks for free (deviation_sq() is
+  // O(1)); for the exact-recompute fallback keep the historical
+  // every-n-ticks amortization.
   const std::uint64_t check_every =
-      config.check_interval != 0 ? config.check_interval : n;
+      config.check_interval != 0
+          ? config.check_interval
+          : (protocol.tracks_deviation() ? 1 : n);
+  // The criterion err <= epsilon compares squared quantities, sqrt-free.
+  const double target_dev_sq =
+      config.epsilon * config.epsilon * initial_dev_sq;
   AsyncClock clock(n, rng);
 
   while (clock.ticks_elapsed() < config.max_ticks) {
@@ -64,15 +77,16 @@ RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
         (tick.index + 1) % config.trace_interval == 0;
     if (!checkpoint && !trace_point) continue;
 
-    const double err = relative_error(protocol.values(), initial_norm);
+    const double dev_sq = protocol.deviation_sq();
     if (trace_point) {
-      result.trace.emplace_back(protocol.meter().total(), err);
+      result.trace.emplace_back(protocol.meter().total(),
+                                std::sqrt(dev_sq / initial_dev_sq));
     }
-    if (checkpoint && err <= config.epsilon) {
+    if (checkpoint && dev_sq <= target_dev_sq) {
       result.converged = true;
       result.ticks = clock.ticks_elapsed();
       result.model_time = clock.now();
-      result.final_error = err;
+      result.final_error = std::sqrt(dev_sq / initial_dev_sq);
       result.transmissions = protocol.meter().snapshot();
       return result;
     }
@@ -81,7 +95,8 @@ RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
   result.converged = false;
   result.ticks = clock.ticks_elapsed();
   result.model_time = clock.now();
-  result.final_error = relative_error(protocol.values(), initial_norm);
+  result.final_error =
+      std::sqrt(protocol.deviation_sq() / initial_dev_sq);
   result.transmissions = protocol.meter().snapshot();
   return result;
 }

@@ -30,6 +30,13 @@ class GossipProtocol {
   virtual std::span<const double> values() const = 0;
 
   virtual const TxMeter& meter() const = 0;
+
+  /// Squared deviation ||x - mean(x)||^2 as the convergence criterion
+  /// reads it.  The default recomputes exactly (O(n)); protocols that
+  /// maintain it incrementally override with an O(1) version and return
+  /// true from tracks_deviation() so the engine can check every tick.
+  virtual double deviation_sq() const;
+  virtual bool tracks_deviation() const { return false; }
 };
 
 struct RunConfig {
@@ -38,7 +45,11 @@ struct RunConfig {
   /// Hard tick budget (0 = 10^7 * n heuristic is NOT applied; treat 0 as
   /// "caller must set" and checked).
   std::uint64_t max_ticks = 0;
-  /// Convergence is tested every `check_interval` ticks (0 = node count).
+  /// Convergence is tested every `check_interval` ticks.  0 = automatic:
+  /// every tick when the protocol tracks its deviation incrementally
+  /// (deviation_sq() is O(1) — all in-tree protocols), else every n ticks.
+  /// Per-tick checks make reported convergence tick counts exact; the old
+  /// every-n default overestimated them by up to n - 1 ticks.
   std::uint64_t check_interval = 0;
   /// When > 0, (transmissions, error) samples are recorded every
   /// `trace_interval` ticks into RunResult::trace.

@@ -1,0 +1,47 @@
+// Neumaier-compensated summation (improved Kahan–Babuška).
+//
+// The incremental convergence trackers apply millions of O(1) updates to a
+// running sum whose terms alternate in sign (remove old contribution, add
+// new one); naive accumulation drifts linearly in the update count.
+// Neumaier's variant keeps a separate compensation term and, unlike plain
+// Kahan, stays accurate when the addend is larger than the running sum —
+// exactly the spike-field case where one node carries Theta(sqrt(n)) mass.
+#ifndef GEOGOSSIP_SUPPORT_NEUMAIER_HPP
+#define GEOGOSSIP_SUPPORT_NEUMAIER_HPP
+
+#include <cmath>
+
+namespace geogossip {
+
+class NeumaierSum {
+ public:
+  constexpr NeumaierSum() noexcept = default;
+
+  void add(double value) noexcept {
+    const double t = sum_ + value;
+    // Evaluate both corrections and select: the magnitude comparison is
+    // data-dependent and unpredictable in gossip streams, so a select
+    // (cmov) beats a branch in the per-tick hot path.
+    const double large_sum = (sum_ - t) + value;
+    const double large_value = (value - t) + sum_;
+    compensation_ +=
+        std::abs(sum_) >= std::abs(value) ? large_sum : large_value;
+    sum_ = t;
+  }
+
+  /// Current compensated total.
+  double value() const noexcept { return sum_ + compensation_; }
+
+  void reset(double value = 0.0) noexcept {
+    sum_ = value;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace geogossip
+
+#endif  // GEOGOSSIP_SUPPORT_NEUMAIER_HPP

@@ -1,0 +1,200 @@
+// Tests for the O(1) incremental convergence tracking: DeviationTracker
+// drift bounds, the ValueProtocol update API, the periodic exact-refresh
+// cadence, and the engine's per-tick check semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gossip/base.hpp"
+#include "gossip/pairwise.hpp"
+#include "graph/geometric_graph.hpp"
+#include "sim/deviation_tracker.hpp"
+#include "sim/engine.hpp"
+#include "sim/field.hpp"
+#include "support/neumaier.hpp"
+#include "support/rng.hpp"
+
+namespace geogossip {
+namespace {
+
+double exact_deviation_sq(const std::vector<double>& x) {
+  const double norm = sim::deviation_norm(x);
+  return norm * norm;
+}
+
+TEST(NeumaierSum, CompensatesCancellation) {
+  NeumaierSum sum;
+  sum.add(1.0);
+  sum.add(1e100);
+  sum.add(1.0);
+  sum.add(-1e100);
+  EXPECT_DOUBLE_EQ(sum.value(), 2.0);  // naive summation returns 0
+}
+
+TEST(DeviationTracker, MatchesExactRecomputationOnSmallUpdates) {
+  Rng rng(41);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.normal();
+  sim::DeviationTracker tracker;
+  tracker.reset(x);
+  EXPECT_NEAR(tracker.deviation_sq(), exact_deviation_sq(x), 1e-12);
+
+  for (int step = 0; step < 1000; ++step) {
+    const std::size_t i = rng.below(x.size());
+    const double next = rng.normal();
+    tracker.update(x[i], next);
+    x[i] = next;
+  }
+  const double exact = exact_deviation_sq(x);
+  EXPECT_NEAR(tracker.deviation_sq(), exact, 1e-9 * exact);
+}
+
+// Satellite requirement: >= 10^6 updates with the incremental norm staying
+// within a tight relative tolerance of the exact recomputation.
+TEST(DeviationTracker, MillionUpdateDriftStaysTight) {
+  Rng rng(42);
+  std::vector<double> x(512);
+  for (double& v : x) v = rng.normal();
+  sim::DeviationTracker tracker;
+  tracker.reset(x);
+
+  constexpr int kUpdates = 1'200'000;
+  for (int step = 1; step <= kUpdates; ++step) {
+    if (step % 3 == 0) {
+      // Sum-conserving pair average through the fast path.
+      const std::size_t i = rng.below(x.size());
+      const std::size_t j = rng.below_excluding(x.size(), i);
+      const double average = 0.5 * (x[i] + x[j]);
+      tracker.update_conserving_pair(x[i], x[j], average, average);
+      x[i] = average;
+      x[j] = average;
+    } else {
+      // Generic update random-walks one element so the field never
+      // collapses and the comparison stays well-conditioned.
+      const std::size_t i = rng.below(x.size());
+      const double next = x[i] + 0.25 * rng.normal();
+      tracker.update(x[i], next);
+      x[i] = next;
+    }
+    if (step % 100'000 == 0) {
+      const double exact = exact_deviation_sq(x);
+      ASSERT_GT(exact, 0.0);
+      EXPECT_NEAR(tracker.deviation_sq(), exact, 1e-8 * exact)
+          << "after " << step << " updates";
+    }
+  }
+}
+
+TEST(DeviationTracker, NanPropagatesInsteadOfReportingConvergence) {
+  std::vector<double> x{1.0, -1.0};
+  sim::DeviationTracker tracker;
+  tracker.reset(x);
+  tracker.update(x[0], std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(tracker.deviation_sq()));
+}
+
+// Exposes the protected update API for direct testing.
+class ScriptedProtocol final : public gossip::ValueProtocol {
+ public:
+  using ValueProtocol::ValueProtocol;
+  using ValueProtocol::apply_affine_jump;
+  using ValueProtocol::apply_average;
+  using ValueProtocol::apply_pair_average;
+  using ValueProtocol::set_value;
+
+  std::string_view name() const override { return "scripted"; }
+  void on_tick(const sim::Tick&) override {}
+};
+
+TEST(ValueProtocol, UpdateApiTracksDeviationAndConservesSum) {
+  Rng rng(43);
+  const auto graph = graph::GeometricGraph::sample(128, 2.0, rng);
+  auto x0 = sim::gaussian_field(128, rng);
+  ScriptedProtocol protocol(graph, x0, rng);
+  const double sum0 = protocol.value_sum();
+
+  std::vector<graph::NodeId> group{1, 5, 9, 21, 40};
+  for (int round = 0; round < 2000; ++round) {
+    const auto a = static_cast<graph::NodeId>(rng.below(128));
+    const auto b = static_cast<graph::NodeId>(rng.below_excluding(128, a));
+    protocol.apply_pair_average(a, b);
+    protocol.apply_affine_jump(a, b, 1.7);  // non-convex, sum-preserving
+    protocol.apply_average(group);
+  }
+  const double exact = exact_deviation_sq(
+      {protocol.values().begin(), protocol.values().end()});
+  EXPECT_NEAR(protocol.deviation_sq(), exact, 1e-9 * (exact + 1e-30));
+  EXPECT_NEAR(protocol.value_sum(), sum0, 1e-9);
+
+  // set_value is tracked too (and may change the sum).
+  protocol.set_value(7, 123.456);
+  const double exact2 = exact_deviation_sq(
+      {protocol.values().begin(), protocol.values().end()});
+  EXPECT_NEAR(protocol.deviation_sq(), exact2, 1e-9 * exact2);
+}
+
+TEST(ValueProtocol, RefreshCadenceIsHonored) {
+  Rng rng(44);
+  const auto graph = graph::GeometricGraph::sample(64, 2.0, rng);
+  ScriptedProtocol protocol(graph, sim::gaussian_field(64, rng), rng);
+  protocol.set_tracker_refresh_interval(100);
+  EXPECT_EQ(protocol.tracker_refresh_interval(), 100u);
+  EXPECT_EQ(protocol.tracker_refreshes(), 0u);
+
+  // 500 pair averages = 1000 element updates = exactly 10 refreshes.
+  for (int i = 0; i < 500; ++i) protocol.apply_pair_average(0, 1);
+  EXPECT_EQ(protocol.tracker_refreshes(), 10u);
+
+  EXPECT_THROW(protocol.set_tracker_refresh_interval(0), ArgumentError);
+}
+
+TEST(Engine, DefaultCheckIntervalEqualsExplicitPerTickChecks) {
+  // Tracking protocols default to per-tick checks; an explicit
+  // check_interval = 1 must be bit-identical (checks draw no randomness).
+  const auto run_once = [](std::uint64_t check_interval) {
+    Rng rng(45);
+    const auto graph = graph::GeometricGraph::sample(256, 2.0, rng);
+    auto x0 = sim::gaussian_field(256, rng);
+    sim::center_and_normalize(x0);
+    gossip::PairwiseGossip protocol(graph, x0, rng);
+    sim::RunConfig config;
+    config.epsilon = 1e-2;
+    config.max_ticks = 10'000'000;
+    config.check_interval = check_interval;
+    return sim::run_to_epsilon(protocol, rng, config);
+  };
+  const auto by_default = run_once(0);
+  const auto explicit_one = run_once(1);
+  ASSERT_TRUE(by_default.converged);
+  EXPECT_EQ(by_default.ticks, explicit_one.ticks);
+  EXPECT_EQ(by_default.final_error, explicit_one.final_error);
+  EXPECT_EQ(by_default.transmissions.total(),
+            explicit_one.transmissions.total());
+}
+
+TEST(Engine, PerTickChecksReportExactConvergenceTick) {
+  // A coarse interval can only stop at its multiples; the per-tick
+  // default must never report later than any coarser cadence.
+  const auto ticks_with = [](std::uint64_t check_interval) {
+    Rng rng(46);
+    const auto graph = graph::GeometricGraph::sample(200, 2.0, rng);
+    auto x0 = sim::gaussian_field(200, rng);
+    sim::center_and_normalize(x0);
+    gossip::PairwiseGossip protocol(graph, x0, rng);
+    sim::RunConfig config;
+    config.epsilon = 1e-2;
+    config.max_ticks = 10'000'000;
+    config.check_interval = check_interval;
+    const auto result = sim::run_to_epsilon(protocol, rng, config);
+    EXPECT_TRUE(result.converged);
+    return result.ticks;
+  };
+  const auto exact = ticks_with(0);
+  const auto coarse = ticks_with(1000);
+  EXPECT_LE(exact, coarse);
+  EXPECT_EQ(coarse % 1000, 0u);
+}
+
+}  // namespace
+}  // namespace geogossip

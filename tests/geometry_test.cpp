@@ -305,6 +305,54 @@ TEST(BucketGrid, NearestInRect) {
   EXPECT_FALSE(index.nearest_in_rect({0.0, 0.0}, empty_query).has_value());
 }
 
+TEST(BucketGrid, RectQueryIncludesClosedRegionBoundary) {
+  // The constructor accepts points sitting exactly on the region's closed
+  // top/right boundary (contains_closed); rect queries whose edges reach
+  // that boundary must report them instead of silently dropping them —
+  // regression test for the contains() / contains_closed() mismatch.
+  const std::vector<Vec2> points{
+      {1.0, 0.5}, {0.5, 1.0}, {1.0, 1.0}, {0.25, 0.25}};
+  const BucketGrid index(points, Rect::unit_square(), 0.2);
+
+  auto all = index.points_in_rect(Rect::unit_square());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+
+  // An edge on the region boundary is closed on that axis only.
+  auto right_strip = index.points_in_rect(Rect({0.9, 0.0}, {1.0, 0.9}));
+  EXPECT_EQ(right_strip, (std::vector<std::uint32_t>{0}));
+
+  // Interior rects keep the documented half-open semantics.
+  EXPECT_TRUE(index.points_in_rect(Rect({0.3, 0.3}, {0.5, 0.5})).empty());
+  auto interior = index.points_in_rect(Rect({0.2, 0.2}, {0.3, 0.3}));
+  EXPECT_EQ(interior, (std::vector<std::uint32_t>{3}));
+
+  // nearest_in_rect sees boundary sitters through the same rule.
+  const auto corner = index.nearest_in_rect({2.0, 2.0}, Rect({0.9, 0.9}, {1.0, 1.0}));
+  ASSERT_TRUE(corner.has_value());
+  EXPECT_EQ(*corner, 2u);
+}
+
+TEST(BucketGrid, BucketIntrospectionCoversAllPoints) {
+  Rng rng(321);
+  const auto points = sample_unit_square(400, rng);
+  const BucketGrid index(points, Rect::unit_square(), 0.13);
+  std::size_t total = 0;
+  for (int row = 0; row < index.side(); ++row) {
+    for (int col = 0; col < index.side(); ++col) {
+      const auto rect = index.bucket_rect(row, col);
+      for (const auto idx : index.bucket_entries(row, col)) {
+        EXPECT_TRUE(rect.contains(points[idx]) ||
+                    rect.contains_closed(points[idx]));
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, points.size());
+  EXPECT_THROW(index.bucket_entries(-1, 0), ArgumentError);
+  EXPECT_THROW(index.bucket_rect(0, index.side()), ArgumentError);
+}
+
 TEST(BucketGrid, RejectsOutOfRegionPoints) {
   const std::vector<Vec2> points{{2.0, 2.0}};
   EXPECT_THROW(BucketGrid(points, Rect::unit_square(), 0.1), ArgumentError);
