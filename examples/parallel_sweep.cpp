@@ -14,7 +14,9 @@
 // The registry covers every experiment E1-E11: protocol sweeps (E5, E10,
 // E11) and measurement probes (E1-E4, E6-E9), each with a -quick preset
 // sized for CI smoke runs (probes also register a -paper preset).
+#include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
   std::int64_t replicates = 0;
   std::string csv_path;
   std::string json_path;
+  std::string json_replicates_path;
+  double mem_budget_gb = 0.0;
   bool list = false;
   bool list_names = false;
   bool compare = false;
@@ -44,6 +48,13 @@ int main(int argc, char** argv) {
   parser.add_flag("csv", &csv_path, "write per-cell results to this CSV");
   parser.add_flag("json", &json_path,
                   "write per-cell results to this JSON-lines file");
+  parser.add_flag("json-replicates", &json_replicates_path,
+                  "stream one JSON-lines record per finished replicate to "
+                  "this file (flushed per record; interrupted sweeps keep "
+                  "partial results)");
+  parser.add_flag("mem-budget", &mem_budget_gb,
+                  "cap concurrent replicates by their memory hints to this "
+                  "many GiB (0 = no cap; XL scenarios carry hints)");
   parser.add_flag("list", &list, "list registered scenarios and exit");
   parser.add_flag("list-names", &list_names,
                   "print bare scenario names (one per line) and exit");
@@ -81,6 +92,23 @@ int main(int argc, char** argv) {
 
   gg::exp::RunnerOptions options;
   options.threads = gg::exp::checked_threads(threads);
+  if (mem_budget_gb < 0.0) {
+    std::cerr << "--mem-budget must be >= 0\n";
+    return 1;
+  }
+  options.memory_budget_bytes = static_cast<std::uint64_t>(
+      mem_budget_gb * 1024.0 * 1024.0 * 1024.0);
+  std::unique_ptr<gg::exp::JsonLinesSink> replicate_sink;
+  if (!json_replicates_path.empty()) {
+    replicate_sink =
+        std::make_unique<gg::exp::JsonLinesSink>(json_replicates_path);
+    options.progress = [&](const gg::exp::Cell& cell,
+                           std::size_t cell_index, std::uint32_t replicate,
+                           const gg::exp::ReplicateResult& result) {
+      replicate_sink->write_replicate(scenario.name, scenario.master_seed,
+                                      cell, cell_index, replicate, result);
+    };
+  }
   const gg::exp::Runner runner(options);
   const auto parallel = runner.run(scenario);
   gg::exp::print_summary(std::cout, parallel);

@@ -528,6 +528,20 @@ void register_probe_scenarios() {
     s.name = "e6-routing-paper";
     return s;
   });
+  registry.add("e6-hops-xl", [] {
+    auto s = make_e6_routing({std::size_t{1} << 17, std::size_t{1} << 18,
+                              std::size_t{1} << 19, std::size_t{1} << 20},
+                             1000, 1.2, 2, 51);
+    s.name = "e6-hops-xl";
+    s.description =
+        "XL E6 hop scaling at n = 2^17..2^20 with per-replicate memory "
+        "hints (pair with --mem-budget to bound concurrent graph builds)";
+    for (auto& cell : s.cells) {
+      cell.mem_hint_bytes = graph::estimate_build_memory_bytes(
+          cell.n, cell.radius_multiplier, /*with_routing_mirror=*/true);
+    }
+    return s;
+  });
 
   registry.add("e7-connectivity-quick", [] {
     auto s = make_e7_connectivity({256, 512}, {0.6, 1.0, 1.5}, 12, 61);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <utility>
 
@@ -17,6 +19,40 @@
 namespace geogossip::exp {
 
 namespace {
+
+/// Admission control for memory-hinted replicates: in-flight hints may sum
+/// to at most `budget`, except that one replicate is always admitted (so a
+/// hint larger than the whole budget degrades to run-alone, never
+/// deadlock).  Purely a scheduling constraint — results are written to
+/// preallocated slots either way, so summaries stay bit-identical.
+class MemoryGate {
+ public:
+  explicit MemoryGate(std::uint64_t budget) : budget_(budget) {}
+
+  void acquire(std::uint64_t hint) {
+    if (budget_ == 0 || hint == 0) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return in_flight_ == 0 || in_flight_ + hint <= budget_;
+    });
+    in_flight_ += hint;
+  }
+
+  void release(std::uint64_t hint) {
+    if (budget_ == 0 || hint == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ -= hint;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::uint64_t budget_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t in_flight_ = 0;
+};
 
 std::vector<double> make_initial_field(const Cell& cell,
                                        const graph::GeometricGraph& graph,
@@ -81,6 +117,7 @@ SweepSummary Runner::run(const Scenario& scenario) const {
   std::vector<ReplicateResult> results(task_count);
 
   ThreadPool pool(options_.threads);
+  MemoryGate gate(options_.memory_budget_bytes);
   std::mutex progress_mu;
   const auto start = std::chrono::steady_clock::now();
   pool.run(task_count, [&](std::size_t task) {
@@ -90,11 +127,18 @@ SweepSummary Runner::run(const Scenario& scenario) const {
     const std::size_t stream = cell.seed_stream == kAutoSeedStream
                                    ? cell_index
                                    : cell.seed_stream;
-    results[task] = run_replicate(
-        cell, replicate_seed(scenario.master_seed, stream, replicate));
+    gate.acquire(cell.mem_hint_bytes);
+    try {
+      results[task] = run_replicate(
+          cell, replicate_seed(scenario.master_seed, stream, replicate));
+    } catch (...) {
+      gate.release(cell.mem_hint_bytes);
+      throw;
+    }
+    gate.release(cell.mem_hint_bytes);
     if (options_.progress) {
       std::lock_guard<std::mutex> lock(progress_mu);
-      options_.progress(cell, results[task]);
+      options_.progress(cell, cell_index, replicate, results[task]);
     }
   });
   const std::chrono::duration<double> elapsed =

@@ -80,8 +80,20 @@ struct RunnerOptions {
   unsigned threads = 0;
   /// Keep per-replicate results in CellSummary::raw.
   bool keep_replicates = false;
+  /// Aggregate memory budget for in-flight replicates, in bytes; 0 = no
+  /// gating.  A replicate whose Cell::mem_hint_bytes would push the
+  /// in-flight total past the budget waits for running replicates to
+  /// retire first (one replicate is always admitted, so a single cell
+  /// larger than the budget still runs — alone).  Gating changes only
+  /// scheduling, never results: aggregation stays bit-identical.
+  std::uint64_t memory_budget_bytes = 0;
   /// Called after each replicate finishes (serialized across workers).
-  std::function<void(const Cell&, const ReplicateResult&)> progress;
+  /// `cell_index` and `replicate` identify the slot — together with the
+  /// scenario's master seed they are the replicate's durable identity,
+  /// which streaming sinks persist for interrupted-sweep resume.
+  std::function<void(const Cell& cell, std::size_t cell_index,
+                     std::uint32_t replicate, const ReplicateResult& result)>
+      progress;
 };
 
 class Runner {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exp/probes.hpp"
+#include "graph/radius.hpp"
 #include "support/check.hpp"
 
 namespace geogossip::exp {
@@ -161,6 +162,32 @@ Scenario e10_quick() {
   return scenario;
 }
 
+Scenario e5_scaling_xl() {
+  Scenario scenario;
+  scenario.name = "e5-scaling-xl";
+  scenario.description =
+      "XL E5 scaling: routed protocols at n = 2^17..2^20 with per-replicate "
+      "memory hints (pair with --mem-budget to bound concurrent builds)";
+  scenario.replicates = 2;
+  scenario.master_seed = 1;
+  // The two order-optimal routed protocols — the ones whose scaling
+  // exponents the paper's headline claims are about, and the ones that
+  // exercise the lazy routing mirror at scale.  Expect minutes per
+  // replicate at 2^17 and hours at 2^20; this preset is nightly/real-
+  // hardware scale, not CI scale.
+  for (const auto kind : {core::ProtocolKind::kDimakisGeographic,
+                          core::ProtocolKind::kPathAveraging}) {
+    for (const std::size_t n :
+         {std::size_t{1} << 17, std::size_t{1} << 18, std::size_t{1} << 19,
+          std::size_t{1} << 20}) {
+      Cell& cell = scenario.add(kind, n);
+      cell.mem_hint_bytes = graph::estimate_build_memory_bytes(
+          n, cell.radius_multiplier, /*with_routing_mirror=*/true);
+    }
+  }
+  return scenario;
+}
+
 Scenario e11_quick() {
   Scenario scenario;
   scenario.name = "e11-decentralized-quick";
@@ -191,6 +218,7 @@ Scenario e11_quick() {
 void register_builtin_scenarios() {
   auto& registry = ScenarioRegistry::instance();
   registry.add("e5-quick", e5_quick);
+  registry.add("e5-scaling-xl", e5_scaling_xl);
   registry.add("e10-ablation-quick", e10_quick);
   registry.add("e11-decentralized-quick", e11_quick);
   register_probe_scenarios();

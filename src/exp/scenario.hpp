@@ -89,6 +89,13 @@ struct Cell {
   /// noise bound, sample counts, ...).  Part of the cell's identity, so
   /// factories rebuild them deterministically.
   std::map<std::string, double> params;
+  /// Estimated peak resident bytes of ONE replicate of this cell (graph +
+  /// protocol; see graph::estimate_build_memory_bytes).  0 = negligible.
+  /// When RunnerOptions::memory_budget_bytes is set, the Runner admits
+  /// concurrent replicates only while their hints fit the budget, so an
+  /// XL sweep (n = 2^17..2^20, ~0.1-1 GB per replicate) cannot
+  /// oversubscribe memory just because the pool has idle workers.
+  std::uint64_t mem_hint_bytes = 0;
   /// Custom measurement; empty runs the protocol trial.  Must depend only
   /// on (cell, seed) — never on globals or wall clock.
   TrialFn trial;

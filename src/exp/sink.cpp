@@ -167,6 +167,42 @@ void JsonLinesSink::write(const SweepSummary& summary) {
   out_->flush();
 }
 
+void JsonLinesSink::write_replicate(const std::string& scenario,
+                                    std::uint64_t master_seed,
+                                    const Cell& cell, std::size_t cell_index,
+                                    std::uint32_t replicate,
+                                    const ReplicateResult& result) {
+  std::ostream& out = *out_;
+  out << "{\"record\":\"replicate\""
+      << ",\"scenario\":\"" << json_escape(scenario) << "\""
+      << ",\"master_seed\":" << master_seed
+      << ",\"cell\":\"" << json_escape(cell.label) << "\""
+      << ",\"cell_index\":" << cell_index
+      << ",\"replicate\":" << replicate
+      << ",\"seed\":" << result.seed
+      << ",\"converged\":" << (result.converged ? "true" : "false")
+      << ",\"final_error\":" << format_double(result.final_error)
+      << ",\"transmissions\":" << result.transmissions.total();
+  if (result.near_exchanges > 0 || result.far_exchanges > 0) {
+    out << ",\"far_exchanges\":" << result.far_exchanges
+        << ",\"near_exchanges\":" << result.near_exchanges;
+  }
+  if (!result.metrics.empty()) {
+    out << ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, value] : result.metrics) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << json_escape(key) << "\":" << format_double(value);
+    }
+    out << "}";
+  }
+  out << "}\n";
+  // Flush per record, not per sweep: an interrupted XL run keeps every
+  // finished replicate — the raw material for resumable sweeps.
+  out.flush();
+}
+
 void write_sinks(const SweepSummary& summary, const std::string& csv_path,
                  const std::string& json_path) {
   if (!csv_path.empty()) CsvSink(csv_path).write(summary);

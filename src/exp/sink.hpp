@@ -53,7 +53,12 @@ class CsvSink final : public Sink {
   std::vector<std::string> metric_keys_;
 };
 
-/// One JSON object per line per cell (JSON Lines / ndjson).
+/// One JSON object per line per cell (JSON Lines / ndjson).  Also speaks a
+/// replicate-level record (write_replicate) that is flushed after EVERY
+/// line, so a sweep killed mid-flight — an XL cell can run for hours —
+/// keeps everything finished so far on disk.  Replicate records carry
+/// (scenario, master_seed, cell_index, replicate): exactly the identity a
+/// future resumable runner needs to skip completed (cell, replicate) pairs.
 class JsonLinesSink final : public Sink {
  public:
   /// Opens (truncates) `path`; throws ArgumentError if it cannot be opened.
@@ -61,6 +66,15 @@ class JsonLinesSink final : public Sink {
   explicit JsonLinesSink(std::ostream& out);
 
   void write(const SweepSummary& summary) override;
+
+  /// Appends one replicate record ({"record":"replicate", ...}) and
+  /// flushes immediately.  Wire into RunnerOptions::progress to stream a
+  /// sweep; records interleave safely with the per-cell write() lines
+  /// because each carries its own "record" discriminator.
+  void write_replicate(const std::string& scenario,
+                       std::uint64_t master_seed, const Cell& cell,
+                       std::size_t cell_index, std::uint32_t replicate,
+                       const ReplicateResult& result);
 
  private:
   std::unique_ptr<std::ofstream> owned_;

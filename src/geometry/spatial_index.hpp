@@ -66,6 +66,15 @@ class BucketGrid {
   void for_each_within(Vec2 p, double radius,
                        const std::function<void(std::uint32_t)>& fn) const;
 
+  /// Number of points with distance(p, point) <= radius (the query point
+  /// itself included when indexed) — pass 1 of the two-pass CSR build is
+  /// exactly one of these per node.
+  std::size_t count_within(Vec2 p, double radius) const {
+    std::size_t count = 0;
+    for_each_within(p, radius, [&](std::uint32_t) { ++count; });
+    return count;
+  }
+
   /// Indices of all points within `radius` of p (inclusive).
   std::vector<std::uint32_t> within(Vec2 p, double radius) const;
 

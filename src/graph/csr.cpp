@@ -6,6 +6,45 @@
 
 namespace geogossip::graph {
 
+void CsrGraph::check_node_count(std::uint64_t node_count) {
+  GG_CHECK_ARG(node_count <= max_node_count(),
+               "graph node count " + std::to_string(node_count) +
+                   " exceeds the 32-bit NodeId ceiling (2^32); shard the "
+                   "deployment or widen NodeId");
+}
+
+CsrGraph CsrGraph::from_parts(std::vector<std::uint64_t> offsets,
+                              std::vector<NodeId> targets) {
+  GG_CHECK_ARG(!offsets.empty(), "from_parts: offsets must have n+1 entries");
+  check_node_count(offsets.size() - 1);
+  GG_CHECK_ARG(offsets.front() == 0, "from_parts: offsets must start at 0");
+  GG_CHECK_ARG(offsets.back() == targets.size(),
+               "from_parts: offsets.back() must equal targets.size()");
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
+  // Validate the whole offset array BEFORE forming any iterator from it:
+  // monotone plus front==0/back==size bounds every entry by targets.size(),
+  // so the row iterators below cannot point past the buffer.
+  for (NodeId v = 0; v < n; ++v) {
+    GG_CHECK_ARG(offsets[v] <= offsets[v + 1],
+                 "from_parts: offsets must be non-decreasing");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const auto begin =
+        targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+    const auto end =
+        targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+    GG_CHECK_ARG(std::is_sorted(begin, end),
+                 "from_parts: per-node targets must be sorted");
+    GG_CHECK_ARG(std::adjacent_find(begin, end) == end,
+                 "from_parts: duplicate edge in row");
+    for (auto it = begin; it != end; ++it) {
+      GG_CHECK_ARG(*it < n, "from_parts: target out of range");
+      GG_CHECK_ARG(*it != v, "from_parts: self-loop in row");
+    }
+  }
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
+
 CsrGraph CsrGraph::from_edges(
     NodeId node_count, const std::vector<std::pair<NodeId, NodeId>>& edges) {
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(node_count) + 1,
@@ -37,6 +76,7 @@ CsrGraph CsrGraph::from_edges(
 
 CsrGraph CsrGraph::from_adjacency(
     const std::vector<std::vector<NodeId>>& adjacency) {
+  check_node_count(adjacency.size());
   const auto n = static_cast<NodeId>(adjacency.size());
   std::vector<std::uint64_t> offsets(adjacency.size() + 1, 0);
   std::size_t total = 0;

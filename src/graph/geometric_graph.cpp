@@ -14,32 +14,73 @@
 namespace geogossip::graph {
 
 GeometricGraph::GeometricGraph(std::vector<geometry::Vec2> points, double r,
-                               const geometry::Rect& region)
-    : points_(std::move(points)), r_(r), region_(region) {
+                               const geometry::Rect& region,
+                               const BuildOptions& options)
+    : points_(std::move(points)),
+      r_(r),
+      region_(region),
+      pool_(options.pool),
+      mirror_(std::make_unique<RoutingMirror>()) {
   GG_CHECK_ARG(!points_.empty(), "GeometricGraph: no points");
   GG_CHECK_ARG(r > 0.0, "GeometricGraph: radius must be positive");
+  CsrGraph::check_node_count(points_.size());
   index_ = std::make_unique<geometry::BucketGrid>(points_, region_, r_);
 
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  // Expected edge count ~ n * pi r^2 n / 2; reserve the interior estimate.
-  edges.reserve(static_cast<std::size_t>(
-      expected_interior_degree(points_.size(), r_) *
-      static_cast<double>(points_.size()) / 2.0));
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    index_->for_each_within(points_[i], r_, [&](std::uint32_t j) {
-      if (j > i) {
-        edges.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>(j));
-      }
-    });
-  }
-  csr_ = CsrGraph::from_edges(static_cast<NodeId>(points_.size()), edges);
+  // Two-pass CSR build straight from the bucket grid.  No edge-list
+  // intermediate and no global sort: each node's row is a pure function
+  // of the (fixed) point set, so the per-node passes parallelize freely
+  // and the output is bit-identical at any thread count.
+  const std::size_t n = points_.size();
+  const geometry::BucketGrid& grid = *index_;
 
+  // Pass 1: per-node degree counts into the (future) offset array.
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  parallel_ranges(pool_, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // count_within reports node i itself too; every other in-range
+      // index is a neighbour (coincident points included, as before).
+      offsets[i + 1] = grid.count_within(points_[i], r_) - 1;
+    }
+  });
+  // Exclusive prefix-sum: offsets[v] becomes the start of node v's row.
+  for (std::size_t v = 1; v <= n; ++v) offsets[v] += offsets[v - 1];
+
+  // Pass 2: fill each row in place.  The grid visits candidates in bucket
+  // row-major order, which for spatially renumbered samples is already
+  // ascending id order — the per-row sort then degenerates to the
+  // is_sorted check; arbitrary point sets pay an O(deg log deg) sort.
+  std::vector<NodeId> targets(offsets.back());
+  parallel_ranges(pool_, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::uint64_t cursor = offsets[i];
+      grid.for_each_within(points_[i], r_, [&](std::uint32_t j) {
+        if (j != i) targets[cursor++] = static_cast<NodeId>(j);
+      });
+      const auto row_begin =
+          targets.begin() + static_cast<std::ptrdiff_t>(offsets[i]);
+      const auto row_end =
+          targets.begin() + static_cast<std::ptrdiff_t>(cursor);
+      if (!std::is_sorted(row_begin, row_end)) std::sort(row_begin, row_end);
+    }
+  });
+  csr_ = CsrGraph::from_parts(std::move(offsets), std::move(targets));
+
+  if (options.eager_routing_mirror) ensure_routing_mirror();
+}
+
+void GeometricGraph::ensure_routing_mirror() const {
+  std::call_once(mirror_->once, [this] { build_routing_mirror(); });
+}
+
+void GeometricGraph::build_routing_mirror() const {
   // Routing-ordered mirror of the CSR: neighbours grouped into annuli by
   // distance from the node, farthest annulus first, each entry carrying
   // its annulus's (conservative, rounded-up) outer radius.  The greedy
   // scan's triangle-inequality pruning only needs a non-increasing upper
   // bound per entry, so annulus granularity keeps it exact while the
   // grouping is an O(degree) counting sort instead of a comparison sort.
+  // Row v of the mirror occupies the same slice as row v of the CSR, so
+  // every node is independent and the fill parallelizes over the pool.
   constexpr int kAnnuli = kRoutingAnnuli;
   double edge_sq[kAnnuli + 1];  // edge_sq[a] = (r * (kAnnuli - a) / K)^2
   float bound_up[kAnnuli];
@@ -55,55 +96,60 @@ GeometricGraph::GeometricGraph(std::vector<geometry::Vec2> points, double r,
     }
   }
 
-  route_offsets_.resize(points_.size() + 1);
-  route_offsets_[0] = 0;
-  route_ids_.resize(2 * csr_.edge_count());
-  route_radii_.resize(2 * csr_.edge_count());
-  std::vector<std::uint8_t> annulus_of;  // per-neighbour scratch, reused
-  std::size_t base = 0;
-  for (std::size_t v = 0; v < points_.size(); ++v) {
-    const auto neighbors = csr_.neighbors(static_cast<NodeId>(v));
-    annulus_of.resize(neighbors.size());
-    std::uint32_t cursor[kAnnuli] = {};
-    for (std::size_t k = 0; k < neighbors.size(); ++k) {
-      const double d_sq =
-          geometry::distance_sq(points_[v], points_[neighbors[k]]);
-      // Largest annulus index with d_sq <= its outer edge (binary
-      // search: a linear walk is O(K) per edge and shows in the build).
-      int lo = 0;
-      int hi = kAnnuli - 1;
-      while (lo < hi) {
-        const int mid = (lo + hi + 1) / 2;
-        if (d_sq <= edge_sq[mid]) {
-          lo = mid;
-        } else {
-          hi = mid - 1;
+  const auto offsets = csr_.offsets();
+  // offsets.back() == total arc count; exact even for a (contract-
+  // violating) asymmetric adjacency, where 2 * edge_count() would round
+  // an odd arc count down and the fill loop would overrun by one.
+  mirror_->ids.resize(offsets.back());
+  mirror_->radii.resize(offsets.back());
+  parallel_ranges(pool_, points_.size(), [&](std::size_t begin,
+                                             std::size_t end) {
+    std::vector<std::uint8_t> annulus_of;  // per-range scratch, reused
+    for (std::size_t v = begin; v < end; ++v) {
+      const auto neighbors = csr_.neighbors_unchecked(static_cast<NodeId>(v));
+      const std::uint64_t base = offsets[v];
+      annulus_of.resize(neighbors.size());
+      std::uint32_t cursor[kAnnuli] = {};
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        const double d_sq =
+            geometry::distance_sq(points_[v], points_[neighbors[k]]);
+        // Largest annulus index with d_sq <= its outer edge (binary
+        // search: a linear walk is O(K) per edge and shows in the build).
+        int lo = 0;
+        int hi = kAnnuli - 1;
+        while (lo < hi) {
+          const int mid = (lo + hi + 1) / 2;
+          if (d_sq <= edge_sq[mid]) {
+            lo = mid;
+          } else {
+            hi = mid - 1;
+          }
         }
+        annulus_of[k] = static_cast<std::uint8_t>(lo);
+        ++cursor[lo];
       }
-      annulus_of[k] = static_cast<std::uint8_t>(lo);
-      ++cursor[lo];
+      // Prefix-sum the per-annulus counts into slice cursors, then place.
+      std::uint32_t start = 0;
+      for (int a = 0; a < kAnnuli; ++a) {
+        const std::uint32_t count = cursor[a];
+        cursor[a] = start;
+        start += count;
+      }
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        const int a = annulus_of[k];
+        const std::size_t slot = base + cursor[a]++;
+        mirror_->ids[slot] = neighbors[k];
+        mirror_->radii[slot] = bound_up[a];
+      }
     }
-    // Prefix-sum the per-annulus counts into slice cursors, then place.
-    std::uint32_t start = 0;
-    for (int a = 0; a < kAnnuli; ++a) {
-      const std::uint32_t count = cursor[a];
-      cursor[a] = start;
-      start += count;
-    }
-    for (std::size_t k = 0; k < neighbors.size(); ++k) {
-      const int a = annulus_of[k];
-      const std::size_t slot = base + cursor[a]++;
-      route_ids_[slot] = neighbors[k];
-      route_radii_[slot] = bound_up[a];
-    }
-    base += neighbors.size();
-    route_offsets_[v + 1] = base;
-  }
+  });
+  mirror_->built.store(true, std::memory_order_release);
 }
 
 GeometricGraph GeometricGraph::sample(std::size_t n, double radius_multiplier,
-                                      Rng& rng) {
+                                      Rng& rng, const BuildOptions& options) {
   GG_CHECK_ARG(n >= 2, "GeometricGraph::sample: n >= 2");
+  CsrGraph::check_node_count(n);
   auto points = geometry::sample_unit_square(n, rng);
   const double r = paper_radius(n, radius_multiplier);
 
@@ -134,7 +180,8 @@ GeometricGraph GeometricGraph::sample(std::size_t n, double radius_multiplier,
   for (std::size_t i = 0; i < n; ++i) {
     sorted[i] = points[keys[i] & 0xffffffffull];
   }
-  return GeometricGraph(std::move(sorted), r);
+  return GeometricGraph(std::move(sorted), r, geometry::Rect::unit_square(),
+                        options);
 }
 
 geometry::Vec2 GeometricGraph::position(NodeId node) const {

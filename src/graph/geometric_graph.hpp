@@ -3,10 +3,27 @@
 // GeometricGraph bundles the sampled positions, the connectivity radius and
 // the CSR adjacency, plus the bucket-grid index reused by routing and by the
 // protocols for nearest-node queries.
+//
+// Construction is a two-pass CSR build straight from the bucket grid: pass 1
+// counts each node's degree, an exclusive prefix-sum lays out the offsets,
+// pass 2 fills each node's (sorted) neighbour slice in place.  No edge-list
+// intermediate, no global sort — and both passes split the node range across
+// a work-stealing ThreadPool when BuildOptions supplies one, with output
+// bit-identical to the serial path at any thread count (each node's slice is
+// a pure function of the point set).
+//
+// The routing-ordered adjacency mirror that greedy routing scans is LAZY:
+// it is built (in parallel, when a pool is attached) on the first
+// ensure_routing_mirror() call — which the greedy routers issue on entry —
+// so workloads that never route (spectral probes, connectivity sweeps,
+// nearest-neighbour gossip) never pay its build time or its 8 bytes/arc.
+// Pass BuildOptions::eager_routing_mirror to front-load it instead.
 #ifndef GEOGOSSIP_GRAPH_GEOMETRIC_GRAPH_HPP
 #define GEOGOSSIP_GRAPH_GEOMETRIC_GRAPH_HPP
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,20 +33,44 @@
 #include "geometry/vec2.hpp"
 #include "graph/csr.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace geogossip::graph {
 
+/// Construction knobs.  The defaults reproduce the historical behaviour
+/// for non-routing workloads: serial build, no routing mirror until a
+/// route asks for one.
+struct BuildOptions {
+  /// Pool the two-pass CSR build (and any later routing-mirror build)
+  /// fans node ranges across; nullptr builds serially.  The pool is only
+  /// borrowed — it must outlive the graph if the routing mirror may be
+  /// built lazily after construction.
+  const ThreadPool* pool = nullptr;
+  /// Build the routing-ordered adjacency mirror during construction
+  /// instead of on first use.  Routing-heavy workloads (E6, geographic
+  /// gossip) amortize it; measurement workloads should leave it off.
+  bool eager_routing_mirror = false;
+};
+
 class GeometricGraph {
  public:
+  /// Nested alias so generic callers can spell the options type through
+  /// the graph type (`typename Graph::BuildOptions`) — which also lets
+  /// version-spanning harnesses (bench/kernels) feature-probe this API
+  /// with a dependent name.
+  using BuildOptions = graph::BuildOptions;
+
   /// Connects every pair of `points` within distance r (closed ball).
-  /// Points must lie in the closed `region`.
+  /// Points must lie in the closed `region`; n must stay below the 32-bit
+  /// NodeId ceiling (2^32).
   GeometricGraph(std::vector<geometry::Vec2> points, double r,
-                 const geometry::Rect& region = geometry::Rect::unit_square());
+                 const geometry::Rect& region = geometry::Rect::unit_square(),
+                 const BuildOptions& options = {});
 
   /// Samples n i.i.d. uniform points on the unit square and connects at the
   /// paper's radius multiplier * sqrt(log n / n).
   static GeometricGraph sample(std::size_t n, double radius_multiplier,
-                               Rng& rng);
+                               Rng& rng, const BuildOptions& options = {});
 
   std::size_t node_count() const noexcept { return points_.size(); }
   double radius() const noexcept { return r_; }
@@ -56,21 +97,51 @@ class GeometricGraph {
   /// Annuli per routing-ordered adjacency list (see routing_ids()).
   static constexpr int kRoutingAnnuli = 32;
 
-  /// Routing-ordered adjacency (unchecked; ids must come from this
+  /// Builds the routing-ordered mirror if it does not exist yet.  Safe to
+  /// call concurrently (std::call_once); the greedy routers call it once
+  /// per route entry, so plain library users never need to.  Uses the
+  /// construction-time pool when one was attached.
+  void ensure_routing_mirror() const;
+  /// Whether the mirror has been materialized (eagerly or lazily).
+  bool routing_mirror_built() const noexcept {
+    return mirror_->built.load(std::memory_order_acquire);
+  }
+
+  /// Routing-ordered adjacency (ids unchecked — they must come from this
   /// graph): the same neighbour set as neighbors(node), grouped into
   /// kRoutingAnnuli distance annuli farthest-first, paired with each
   /// annulus's outer radius rounded UP to float.  greedy_step scans this
   /// order and stops at the first entry whose triangle-inequality bound
   ///     dist(u, target) >= dist(node, target) - |u - node|
   /// already rules out every remaining (nearer-to-node) neighbour — for
-  /// far targets that prunes most of the list, exactly.
-  std::span<const NodeId> routing_ids(NodeId node) const noexcept {
-    return {route_ids_.data() + route_offsets_[node],
-            route_ids_.data() + route_offsets_[node + 1]};
+  /// far targets that prunes most of the list, exactly.  The row layout
+  /// mirrors the CSR exactly (same per-node counts), so the CSR offsets
+  /// slice both arrays.  Self-ensuring: the first call materializes the
+  /// lazy mirror; the steady-state cost is one relaxed call_once check,
+  /// noise against the row scan that follows.
+  std::span<const NodeId> routing_ids(NodeId node) const {
+    ensure_routing_mirror();
+    return routing_ids_unchecked(node);
   }
-  std::span<const float> routing_radii(NodeId node) const noexcept {
-    return {route_radii_.data() + route_offsets_[node],
-            route_radii_.data() + route_offsets_[node + 1]};
+  std::span<const float> routing_radii(NodeId node) const {
+    ensure_routing_mirror();
+    return routing_radii_unchecked(node);
+  }
+
+  /// Unchecked variants for per-hop loops that have already ensured the
+  /// mirror once at route entry (greedy_step): no call_once check, and
+  /// noexcept.  Calling these before ensure_routing_mirror() is UB, like
+  /// neighbors_unchecked with a foreign id.
+  std::span<const NodeId> routing_ids_unchecked(NodeId node) const noexcept {
+    const auto offsets = csr_.offsets();
+    return {mirror_->ids.data() + offsets[node],
+            mirror_->ids.data() + offsets[node + 1]};
+  }
+  std::span<const float> routing_radii_unchecked(
+      NodeId node) const noexcept {
+    const auto offsets = csr_.offsets();
+    return {mirror_->radii.data() + offsets[node],
+            mirror_->radii.data() + offsets[node + 1]};
   }
 
   /// Bucket-grid index over the node positions (cell size == r).
@@ -82,15 +153,25 @@ class GeometricGraph {
   std::string summary() const;
 
  private:
+  // Lazily-built routing mirror; boxed so the graph stays movable (the
+  // once_flag/atomic inside are neither copyable nor movable).
+  struct RoutingMirror {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    std::vector<NodeId> ids;
+    std::vector<float> radii;
+  };
+
+  void build_routing_mirror() const;
+
   std::vector<geometry::Vec2> points_;
   double r_;
   geometry::Rect region_;
   std::unique_ptr<geometry::BucketGrid> index_;
   CsrGraph csr_;
-  // Routing-ordered adjacency mirroring csr_ (see routing_ids()).
-  std::vector<std::uint64_t> route_offsets_;
-  std::vector<NodeId> route_ids_;
-  std::vector<float> route_radii_;
+  /// Borrowed build pool (see BuildOptions::pool); nullptr = serial.
+  const ThreadPool* pool_ = nullptr;
+  std::unique_ptr<RoutingMirror> mirror_;
 };
 
 }  // namespace geogossip::graph

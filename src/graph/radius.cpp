@@ -31,4 +31,20 @@ double expected_route_hops(double distance, double r) {
   return std::ceil(distance / r);
 }
 
+std::uint64_t estimate_build_memory_bytes(std::size_t n, double multiplier,
+                                          bool with_routing_mirror) {
+  GG_CHECK_ARG(n >= 2, "estimate_build_memory_bytes: n >= 2");
+  const double nn = static_cast<double>(n);
+  const double degree =
+      expected_interior_degree(n, paper_radius(n, multiplier));
+  const double arcs = nn * degree;  // directed CSR entries, 2 * edges
+  double bytes = 0.0;
+  bytes += nn * 16.0;         // positions (Vec2)
+  bytes += nn * 8.0 + 4096;   // bucket-grid entries + bucket starts
+  bytes += nn * 8.0 + arcs * 4.0;  // CSR offsets + targets
+  if (with_routing_mirror) bytes += arcs * 8.0;  // mirror ids + radii
+  bytes += nn * 32.0;         // field, protocol scratch, tracker state
+  return static_cast<std::uint64_t>(bytes);
+}
+
 }  // namespace geogossip::graph

@@ -8,6 +8,7 @@
 #define GEOGOSSIP_GRAPH_RADIUS_HPP
 
 #include <cstddef>
+#include <cstdint>
 
 namespace geogossip::graph {
 
@@ -25,6 +26,18 @@ double expected_interior_degree(std::size_t n, double r);
 /// Expected hop count of a greedy geographic route across distance d when
 /// each hop advances Theta(r): ceil(d / r) as a real number.
 double expected_route_hops(double distance, double r);
+
+/// Conservative estimate (bytes) of the resident footprint of one
+/// GeometricGraph::sample(n, multiplier) plus a protocol replicate on it:
+/// positions + bucket grid + CSR arcs sized at the full interior expected
+/// degree (a ~10% overestimate — boundary nodes see less), the
+/// routing-ordered mirror when `with_routing_mirror`, and a protocol
+/// allowance of a few doubles per node.  The experiment Runner gates
+/// concurrent replicates on these hints so XL sweeps (n up to 2^20, ~1 GB
+/// apiece with the mirror) never oversubscribe memory; see
+/// exp::RunnerOptions::memory_budget_bytes.
+std::uint64_t estimate_build_memory_bytes(std::size_t n, double multiplier,
+                                          bool with_routing_mirror);
 
 }  // namespace geogossip::graph
 

@@ -22,9 +22,10 @@ namespace {
 
 /// Single greedy step: the neighbour strictly closest to `target` (closer
 /// than `current` itself), or `current` when none is — the sentinel avoids
-/// std::optional in the per-hop loop.  Endpoints are validated once at
-/// route entry; every id scanned here comes out of the graph's own CSR,
-/// so the inner loop carries no bounds checks, and the spatially
+/// std::optional in the per-hop loop.  Endpoints are validated and the
+/// lazy routing mirror ensured ONCE at route entry; every id scanned here
+/// comes out of the graph's own CSR, so the inner loop carries no bounds
+/// checks or mirror checks (the _unchecked accessors), and the spatially
 /// renumbered node ids (GeometricGraph::sample) keep the position reads
 /// cache-local.
 /// `here_sq` must equal distance_sq(positions[current], target); route
@@ -44,8 +45,8 @@ inline NodeId greedy_step(const GeometricGraph& g,
   //    compare-and-keep is a loop-carried dependency (~5 cycles per
   //    candidate); independent lanes let the loads and multiplies of
   //    consecutive candidates overlap.
-  const auto ids = g.routing_ids(current);
-  const auto radii = g.routing_radii(current);
+  const auto ids = g.routing_ids_unchecked(current);
+  const auto radii = g.routing_radii_unchecked(current);
   const double here_sq = here_sq_io;
   const double here = std::sqrt(here_sq);
   double best_sq[4] = {here_sq, here_sq, here_sq, here_sq};
@@ -109,6 +110,9 @@ RouteResult route_to_node(const GeometricGraph& g, NodeId source,
                           NodeId destination, const RouteOptions& options) {
   GG_CHECK_ARG(source < g.node_count() && destination < g.node_count(),
                "route endpoints out of range");
+  // First route on a graph materializes the routing-ordered mirror (a
+  // no-op ever after); greedy_step itself reads it unchecked per hop.
+  g.ensure_routing_mirror();
   const std::uint32_t budget =
       options.max_hops != 0 ? options.max_hops : default_hop_budget(g);
   const auto positions = g.positions();
@@ -144,6 +148,7 @@ RouteResult route_to_node(const GeometricGraph& g, NodeId source,
 RouteResult route_to_position(const GeometricGraph& g, NodeId source,
                               Vec2 target, const RouteOptions& options) {
   GG_CHECK_ARG(source < g.node_count(), "route source out of range");
+  g.ensure_routing_mirror();
   const std::uint32_t budget =
       options.max_hops != 0 ? options.max_hops : default_hop_budget(g);
   const auto positions = g.positions();

@@ -173,6 +173,30 @@ TEST(ScenarioRegistry, ProbeScenariosAlsoShipPaperPresets) {
   }
 }
 
+TEST(ScenarioRegistry, XlPresetsAreRegisteredWithMemoryHints) {
+  register_builtin_scenarios();
+  auto& registry = ScenarioRegistry::instance();
+  for (const char* name : {"e5-scaling-xl", "e6-hops-xl"}) {
+    ASSERT_TRUE(registry.contains(name)) << name;
+    // --list visibility is exactly names() membership (parallel_sweep
+    // renders that list), so assert through the same call.
+    const auto names = registry.names();
+    EXPECT_NE(std::find(names.begin(), names.end(), std::string(name)),
+              names.end());
+    const auto scenario = registry.make(name);
+    ASSERT_FALSE(scenario.cells.empty()) << name;
+    std::size_t top_n = 0;
+    for (const auto& cell : scenario.cells) {
+      top_n = std::max(top_n, cell.n);
+      // Every XL cell must carry a memory hint so --mem-budget can gate
+      // concurrent builds, and the hint must at least cover the CSR.
+      EXPECT_GT(cell.mem_hint_bytes,
+                static_cast<std::uint64_t>(cell.n) * 8) << name;
+    }
+    EXPECT_EQ(top_n, std::size_t{1} << 20) << name;
+  }
+}
+
 // ---------------------------------------------------------------- runner ----
 
 TEST(Runner, AggregatesExpectedReplicateCountPerCell) {
@@ -275,12 +299,51 @@ TEST(Runner, ProgressCallbackFiresOncePerReplicate) {
   std::atomic<int> calls{0};
   RunnerOptions options;
   options.threads = 2;
-  options.progress = [&](const Cell&, const ReplicateResult&) {
-    calls.fetch_add(1);
-  };
+  options.progress = [&](const Cell&, std::size_t, std::uint32_t,
+                         const ReplicateResult&) { calls.fetch_add(1); };
   Runner(options).run(scenario);
   EXPECT_EQ(calls.load(),
             static_cast<int>(scenario.cells.size() * scenario.replicates));
+}
+
+TEST(Runner, ProgressReportsSlotIdentity) {
+  const auto scenario = tiny_scenario(2);
+  std::set<std::pair<std::size_t, std::uint32_t>> slots;
+  RunnerOptions options;
+  options.threads = 2;
+  options.progress = [&](const Cell& cell, std::size_t cell_index,
+                         std::uint32_t replicate, const ReplicateResult&) {
+    EXPECT_EQ(scenario.cells[cell_index].label, cell.label);
+    slots.emplace(cell_index, replicate);
+  };
+  Runner(options).run(scenario);
+  // Every (cell, replicate) pair reported exactly once.
+  EXPECT_EQ(slots.size(), scenario.cells.size() * scenario.replicates);
+}
+
+TEST(Runner, MemoryBudgetGatesSchedulingNotResults) {
+  auto scenario = tiny_scenario(3);
+  // Hints chosen so the budget admits at most one hinted replicate at a
+  // time — including one hint LARGER than the whole budget, which must
+  // degrade to run-alone rather than deadlock.
+  scenario.cells[0].mem_hint_bytes = 600;
+  scenario.cells[1].mem_hint_bytes = 1500;  // > budget: runs alone
+  scenario.cells[2].mem_hint_bytes = 900;
+  RunnerOptions ungated;
+  ungated.threads = 3;
+  const auto baseline = Runner(ungated).run(scenario);
+
+  RunnerOptions gated = ungated;
+  gated.memory_budget_bytes = 1000;
+  const auto summary = Runner(gated).run(scenario);
+
+  ASSERT_EQ(summary.cells.size(), baseline.cells.size());
+  for (std::size_t c = 0; c < summary.cells.size(); ++c) {
+    EXPECT_EQ(summary.cells[c].converged, baseline.cells[c].converged);
+    EXPECT_EQ(summary.cells[c].median_tx, baseline.cells[c].median_tx);
+    EXPECT_EQ(summary.cells[c].q25_tx, baseline.cells[c].q25_tx);
+    EXPECT_EQ(summary.cells[c].q75_tx, baseline.cells[c].q75_tx);
+  }
 }
 
 // --------------------------------------------------------------- metrics ----
@@ -513,6 +576,40 @@ TEST(Sinks, JsonLinesSinkEmitsMetricsObject) {
   EXPECT_NE(text.find("\"value\":{\"count\":3,\"mean\":"),
             std::string::npos);
   EXPECT_NE(text.find("\"q95\":"), std::string::npos);
+}
+
+TEST(Sinks, JsonLinesReplicateRecordsStreamOnePerReplicate) {
+  const auto scenario = tiny_scenario(2);
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  RunnerOptions options;
+  options.threads = 2;
+  options.progress = [&](const Cell& cell, std::size_t cell_index,
+                         std::uint32_t replicate,
+                         const ReplicateResult& result) {
+    sink.write_replicate(scenario.name, scenario.master_seed, cell,
+                         cell_index, replicate, result);
+  };
+  const auto summary = Runner(options).run(scenario);
+  sink.write(summary);  // cell lines interleave fine after the records
+
+  const std::string text = out.str();
+  std::size_t records = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"record\":\"replicate\"", pos)) !=
+         std::string::npos) {
+    ++records;
+    ++pos;
+  }
+  EXPECT_EQ(records, scenario.cells.size() * scenario.replicates);
+  // Each record carries the resume identity and the outcome.
+  EXPECT_NE(text.find("\"cell_index\":"), std::string::npos);
+  EXPECT_NE(text.find("\"replicate\":"), std::string::npos);
+  EXPECT_NE(text.find("\"master_seed\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"transmissions\":"), std::string::npos);
+  // The per-cell summary lines still follow.
+  EXPECT_NE(text.find("\"scenario\":\"tiny\",\"cell\":\"boyd\""),
+            std::string::npos);
 }
 
 TEST(Sinks, JsonEscapeHandlesQuotesBackslashesAndControls) {

@@ -249,6 +249,9 @@ TEST_P(BucketGridProperty, WithinMatchesBruteForce) {
       }
     }
     EXPECT_EQ(got, expected) << "probe " << probe << " radius " << radius;
+    // count_within is the degree-counting pass of the two-pass CSR build;
+    // it must agree with the materializing query exactly.
+    EXPECT_EQ(index.count_within(q, radius), got.size());
   }
 }
 

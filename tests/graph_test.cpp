@@ -10,8 +10,10 @@
 #include "graph/csr.hpp"
 #include "graph/geometric_graph.hpp"
 #include "graph/radius.hpp"
+#include "routing/greedy.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace geogossip::graph {
 namespace {
@@ -55,6 +57,46 @@ TEST(Csr, FromAdjacencyValidatesSymmetry) {
   EXPECT_THROW(CsrGraph::from_adjacency(asymmetric), ArgumentError);
   const std::vector<std::vector<NodeId>> self_loop{{0}};
   EXPECT_THROW(CsrGraph::from_adjacency(self_loop), ArgumentError);
+}
+
+TEST(Csr, FromPartsAcceptsValidLayoutAndRejectsBrokenOnes) {
+  // 0-1, 1-2 as a hand-laid CSR.
+  const auto g = CsrGraph::from_parts({0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+
+  EXPECT_THROW(CsrGraph::from_parts({}, {}), ArgumentError);
+  // offsets must start at 0 and end at targets.size().
+  EXPECT_THROW(CsrGraph::from_parts({1, 2}, {0}), ArgumentError);
+  EXPECT_THROW(CsrGraph::from_parts({0, 2}, {1}), ArgumentError);
+  // non-monotone offsets / unsorted row / duplicate / self-loop / range.
+  EXPECT_THROW(CsrGraph::from_parts({0, 2, 1, 4}, {1, 2, 0, 0}),
+               ArgumentError);
+  // Non-monotone with an interior offset PAST targets.size(): must be
+  // rejected without ever forming an out-of-bounds row iterator.
+  EXPECT_THROW(CsrGraph::from_parts({0, 5, 2, 2}, {1, 0}), ArgumentError);
+  EXPECT_THROW(CsrGraph::from_parts({0, 2, 3, 4}, {2, 1, 0, 0}),
+               ArgumentError);
+  EXPECT_THROW(CsrGraph::from_parts({0, 2, 2}, {1, 1}), ArgumentError);
+  EXPECT_THROW(CsrGraph::from_parts({0, 1, 2}, {0, 0}), ArgumentError);
+  EXPECT_THROW(CsrGraph::from_parts({0, 1, 2}, {5, 0}), ArgumentError);
+}
+
+TEST(Csr, NodeCountCeilingIsExplicit) {
+  // NodeId is 32-bit: n >= 2^32 must be rejected with a clear error, not
+  // silently truncated.  The check itself is cheap and allocation-free.
+  EXPECT_NO_THROW(CsrGraph::check_node_count(CsrGraph::max_node_count()));
+  EXPECT_THROW(CsrGraph::check_node_count(std::uint64_t{1} << 32),
+               ArgumentError);
+  EXPECT_THROW(CsrGraph::check_node_count((std::uint64_t{1} << 32) + 7),
+               ArgumentError);
+  // The graph builders fail before allocating anything n-sized.
+  Rng rng(7);
+  EXPECT_THROW(
+      GeometricGraph::sample(std::size_t{1} << 32, 2.0, rng),
+      ArgumentError);
 }
 
 TEST(Csr, EmptyGraph) {
@@ -209,6 +251,111 @@ TEST(GeometricGraph, Validation) {
   EXPECT_THROW(GeometricGraph({{0.5, 0.5}}, 0.0), ArgumentError);
   Rng rng(1);
   EXPECT_THROW(GeometricGraph::sample(1, 2.0, rng), ArgumentError);
+}
+
+// ----------------------------------------- two-pass build / lazy mirror ----
+
+/// Full structural equality of two graphs built from the same points:
+/// CSR offsets + per-node neighbour lists, then (after forcing both
+/// mirrors) the routing-ordered ids and radii, byte for byte.
+void expect_identical_graphs(const GeometricGraph& a,
+                             const GeometricGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.adjacency().edge_count(), b.adjacency().edge_count());
+  const auto offsets_a = a.adjacency().offsets();
+  const auto offsets_b = b.adjacency().offsets();
+  ASSERT_TRUE(std::equal(offsets_a.begin(), offsets_a.end(),
+                         offsets_b.begin(), offsets_b.end()));
+  a.ensure_routing_mirror();
+  b.ensure_routing_mirror();
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "node " << v;
+    const auto ia = a.routing_ids(v);
+    const auto ib = b.routing_ids(v);
+    ASSERT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin(), ib.end()))
+        << "routing ids of node " << v;
+    const auto ra = a.routing_radii(v);
+    const auto rb = b.routing_radii(v);
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()))
+        << "routing radii of node " << v;
+  }
+}
+
+TEST(GeometricGraph, ParallelBuildBitIdenticalToSerialAcrossSeeds) {
+  // The acceptance property of the two-pass build: any thread count
+  // produces byte-identical CSR and routing-mirror arrays.  1 vs 4
+  // threads (and an uneven 3) across several seeds and a non-trivial n.
+  const ThreadPool pool4(4);
+  const ThreadPool pool3(3);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng_serial(seed);
+    Rng rng_p4(seed);
+    Rng rng_p3(seed);
+    const auto serial = GeometricGraph::sample(700, 1.5, rng_serial);
+    const auto par4 =
+        GeometricGraph::sample(700, 1.5, rng_p4, {.pool = &pool4});
+    const auto par3 =
+        GeometricGraph::sample(700, 1.5, rng_p3, {.pool = &pool3});
+    expect_identical_graphs(serial, par4);
+    expect_identical_graphs(serial, par3);
+  }
+}
+
+TEST(GeometricGraph, ParallelBuildMatchesSerialOnArbitraryPointSets) {
+  // Raw constructor (no spatial renumbering, so the grid's visit order is
+  // NOT presorted and pass 2 exercises its per-row sort), clustered
+  // points included.
+  Rng rng(91);
+  auto points = geometry::sample_unit_square(500, rng);
+  for (std::size_t i = 0; i < 60; ++i) {  // a dense cluster
+    points.push_back({0.5 + 1e-4 * static_cast<double>(i % 8), 0.5});
+  }
+  const double r = paper_radius(points.size(), 1.5);
+  const ThreadPool pool(4);
+  const GeometricGraph serial(points, r);
+  const GeometricGraph parallel(points, r, geometry::Rect::unit_square(),
+                                {.pool = &pool});
+  expect_identical_graphs(serial, parallel);
+}
+
+TEST(GeometricGraph, RoutingMirrorIsLazyAndEagerOptionForcesIt) {
+  Rng rng_lazy(55);
+  Rng rng_eager(55);
+  const auto lazy = GeometricGraph::sample(400, 2.0, rng_lazy);
+  const auto eager = GeometricGraph::sample(
+      400, 2.0, rng_eager, {.eager_routing_mirror = true});
+  EXPECT_FALSE(lazy.routing_mirror_built());
+  EXPECT_TRUE(eager.routing_mirror_built());
+
+  // Routing through the lazy graph materializes the mirror on first use
+  // and takes exactly the same hops as on the eager graph.
+  Rng pick(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto src = static_cast<NodeId>(pick.below(lazy.node_count()));
+    const auto dst = static_cast<NodeId>(
+        pick.below_excluding(lazy.node_count(), src));
+    const auto via_lazy = routing::route_to_node(lazy, src, dst);
+    const auto via_eager = routing::route_to_node(eager, src, dst);
+    EXPECT_EQ(via_lazy.status, via_eager.status);
+    EXPECT_EQ(via_lazy.hops, via_eager.hops);
+    EXPECT_EQ(via_lazy.final_node, via_eager.final_node);
+  }
+  EXPECT_TRUE(lazy.routing_mirror_built());
+  expect_identical_graphs(lazy, eager);
+}
+
+TEST(GeometricGraph, NonRoutingUseNeverBuildsTheMirror) {
+  Rng rng(66);
+  const auto g = GeometricGraph::sample(300, 2.0, rng);
+  // The measurement-style workload: degrees, neighbours, nearest queries.
+  (void)g.adjacency().mean_degree();
+  (void)g.neighbors(0);
+  (void)g.nearest_node({0.25, 0.75});
+  (void)g.summary();
+  EXPECT_FALSE(g.routing_mirror_built());
 }
 
 TEST(GeometricGraph, SubThresholdRadiusDisconnects) {

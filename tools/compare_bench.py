@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench/kernels JSON against a committed BENCH_*.json baseline.
+
+Non-gating by design: prints one line per matched (kernel, n) point and a
+GitHub Actions ::warning:: annotation for every point slower than the
+threshold (default 2x), but always exits 0 unless the inputs are unreadable.
+Shared-runner noise makes a hard perf gate flaky; the warnings put suspect
+kernels in front of the reviewer instead.
+
+Baselines may be either a raw harness dump ({"kernels": [...]}) or a
+committed before/after trajectory ({"before": {...}, "after": {...}});
+the "after" snapshot is the baseline in that case.
+
+Usage:
+  compare_bench.py BASELINE.json FRESH.json [--threshold 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_kernels(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    if "kernels" in data:
+        kernels = data["kernels"]
+    elif "after" in data and "kernels" in data["after"]:
+        kernels = data["after"]["kernels"]
+    else:
+        raise SystemExit(f"{path}: no 'kernels' array (raw or under 'after')")
+    return {(k["name"], k["n"]): k for k in kernels}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="warn when fresh ns/op exceeds baseline by "
+                             "more than this factor (default 2.0)")
+    args = parser.parse_args()
+
+    baseline = load_kernels(args.baseline)
+    fresh = load_kernels(args.fresh)
+
+    matched = sorted(set(baseline) & set(fresh))
+    if not matched:
+        print("no overlapping (kernel, n) points; nothing to compare")
+        return 0
+
+    warnings = 0
+    width = max(len(name) for name, _ in matched)
+    for key in matched:
+        name, n = key
+        base_ns = baseline[key]["ns_per_op"]
+        fresh_ns = fresh[key]["ns_per_op"]
+        ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+        flag = ""
+        if ratio > args.threshold:
+            warnings += 1
+            flag = "  <-- REGRESSION?"
+            print(f"::warning title=perf regression::{name} @ n={n}: "
+                  f"{fresh_ns:.1f} ns/op vs baseline {base_ns:.1f} "
+                  f"({ratio:.2f}x, threshold {args.threshold}x)")
+        print(f"{name:<{width}} n={n:<9} baseline={base_ns:>14.1f} "
+              f"fresh={fresh_ns:>14.1f} ratio={ratio:>6.2f}x{flag}")
+
+    print(f"\n{len(matched)} points compared, {warnings} above "
+          f"{args.threshold}x (non-gating)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
