@@ -11,13 +11,33 @@
 //   parallel_sweep --scenario=e5-quick --threads=4 --compare
 //   parallel_sweep --scenario=e6-routing-quick --csv=out.csv
 //
+// Sweeps are restartable and distributable:
+//
+//   # stream one flushed record per finished replicate
+//   parallel_sweep --scenario=e5-scaling-xl --json-replicates=xl.jsonl
+//   # killed?  resume into the same file: completed replicates are
+//   # skipped, their results re-ingested, new records appended
+//   parallel_sweep --scenario=e5-scaling-xl --resume=xl.jsonl
+//       --json-replicates=xl.jsonl --csv=xl.csv        (one command line)
+//   # or split one sweep across processes/machines (round-robin over the
+//   # flattened (cell, replicate) stream; output paths auto-suffixed)
+//   parallel_sweep --scenario=e5-scaling-xl --shard=0/2 --json-replicates=xl.jsonl
+//   parallel_sweep --scenario=e5-scaling-xl --shard=1/2 --json-replicates=xl.jsonl
+//   # then fold the shard files into the summaries a single uninterrupted
+//   # run would emit (tools/merge_replicates.py validates + canonicalizes)
+//   parallel_sweep --scenario=e5-scaling-xl --merge-only
+//       --resume=xl.shard-0-of-2.jsonl,xl.shard-1-of-2.jsonl --csv=xl.csv
+//
 // The registry covers every experiment E1-E11: protocol sweeps (E5, E10,
 // E11) and measurement probes (E1-E4, E6-E9), each with a -quick preset
 // sized for CI smoke runs (probes also register a -paper preset).
 #include <cmath>
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "exp/checkpoint.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sink.hpp"
@@ -26,6 +46,70 @@
 
 namespace gg = geogossip;
 
+namespace {
+
+/// Parses "--shard=i/k".  Returns false (with a diagnostic) on bad specs;
+/// strict parse_int rejects negatives and trailing junk rather than
+/// letting "--shard=0/-1" degrade into a near-empty sweep.
+bool parse_shard_spec(const std::string& spec, std::uint32_t* shard_index,
+                      std::uint32_t* shard_count) {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= spec.size()) {
+    std::cerr << "--shard expects i/k (e.g. --shard=0/4)\n";
+    return false;
+  }
+  try {
+    const std::int64_t index = gg::parse_int(spec.substr(0, slash));
+    const std::int64_t count = gg::parse_int(spec.substr(slash + 1));
+    if (count < 1 || index < 0 || index >= count ||
+        count > 0xFFFFFFFFll) {
+      std::cerr << "--shard=" << spec << ": need 0 <= i < k\n";
+      return false;
+    }
+    *shard_index = static_cast<std::uint32_t>(index);
+    *shard_count = static_cast<std::uint32_t>(count);
+    return true;
+  } catch (const gg::ArgumentError&) {
+    std::cerr << "--shard=" << spec << ": not a valid i/k pair\n";
+    return false;
+  }
+}
+
+/// True when both paths name the same file on disk — resolved through
+/// the filesystem, so "./x" vs "x", relative vs absolute spellings and
+/// symlinks all count (a raw string compare here would let a resume
+/// TRUNCATE its own checkpoint).
+bool same_file(const std::string& a, const std::string& b) {
+  if (a == b) return true;
+  std::error_code ec;
+  const auto ca = std::filesystem::weakly_canonical(a, ec);
+  if (ec) return false;
+  const auto cb = std::filesystem::weakly_canonical(b, ec);
+  if (ec) return false;
+  return ca == cb;
+}
+
+void print_checkpoint_warnings(const gg::exp::CheckpointStats& stats) {
+  if (stats.malformed > 0) {
+    std::cerr << "resume: skipped " << stats.malformed
+              << " malformed line(s) — those replicates will re-run\n";
+  }
+  if (stats.foreign > 0) {
+    std::cerr << "resume: ignored " << stats.foreign
+              << " record(s) from another (scenario, master_seed)\n";
+  }
+  if (stats.duplicate > 0) {
+    std::cerr << "resume: collapsed " << stats.duplicate
+              << " duplicate record(s)\n";
+  }
+  if (stats.torn_tail) {
+    std::cerr << "resume: tolerated a torn final line (killed writer)\n";
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string scenario_name = "e5-quick";
   std::int64_t threads = 0;
@@ -33,6 +117,9 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   std::string json_replicates_path;
+  std::string shard_spec;
+  std::string resume_spec;
+  bool merge_only = false;
   double mem_budget_gb = 0.0;
   bool list = false;
   bool list_names = false;
@@ -51,7 +138,21 @@ int main(int argc, char** argv) {
   parser.add_flag("json-replicates", &json_replicates_path,
                   "stream one JSON-lines record per finished replicate to "
                   "this file (flushed per record; interrupted sweeps keep "
-                  "partial results)");
+                  "partial results and --resume picks them back up)");
+  parser.add_flag("shard", &shard_spec,
+                  "run shard i of k (i/k): round-robin partition of the "
+                  "(cell, replicate) stream; --csv/--json/--json-replicates "
+                  "paths are suffixed per shard unless they carry a {shard} "
+                  "placeholder");
+  parser.add_flag("resume", &resume_spec,
+                  "comma-separated replicate-record files from earlier "
+                  "(killed or sharded) runs of this scenario; completed "
+                  "replicates are skipped and re-ingested.  Resuming into "
+                  "the same --json-replicates path appends only new records");
+  parser.add_flag("merge-only", &merge_only,
+                  "run nothing: require --resume to cover the scenario "
+                  "completely and emit the merged summaries (exit 1 when "
+                  "replicates are missing)");
   parser.add_flag("mem-budget", &mem_budget_gb,
                   "cap concurrent replicates by their memory hints to this "
                   "many GiB (0 = no cap; XL scenarios carry hints)");
@@ -82,9 +183,43 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  if (!shard_spec.empty() &&
+      !parse_shard_spec(shard_spec, &shard_index, &shard_count)) {
+    return 1;
+  }
+  if (merge_only && shard_count > 1) {
+    std::cerr << "--merge-only folds ALL shards; drop --shard\n";
+    return 1;
+  }
+  if (merge_only && resume_spec.empty()) {
+    std::cerr << "--merge-only needs --resume=<shard files>\n";
+    return 1;
+  }
+  if (merge_only && !json_replicates_path.empty()) {
+    std::cerr << "--merge-only runs nothing, so --json-replicates would "
+                 "write an empty file; use tools/merge_replicates.py to "
+                 "produce a merged record file\n";
+    return 1;
+  }
+
   auto scenario = registry.make(scenario_name);
   if (replicates > 0) {
     scenario.replicates = static_cast<std::uint32_t>(replicates);
+  }
+
+  // Per-shard output paths so k cooperating processes can share one
+  // command line (identity when unsharded and no {shard} placeholder).
+  if (!csv_path.empty()) {
+    csv_path = gg::exp::shard_path(csv_path, shard_index, shard_count);
+  }
+  if (!json_path.empty()) {
+    json_path = gg::exp::shard_path(json_path, shard_index, shard_count);
+  }
+  if (!json_replicates_path.empty()) {
+    json_replicates_path =
+        gg::exp::shard_path(json_replicates_path, shard_index, shard_count);
   }
 
   std::cout << "scenario " << scenario.name << ": "
@@ -92,16 +227,58 @@ int main(int argc, char** argv) {
 
   gg::exp::RunnerOptions options;
   options.threads = gg::exp::checked_threads(threads);
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
   if (mem_budget_gb < 0.0) {
     std::cerr << "--mem-budget must be >= 0\n";
     return 1;
   }
   options.memory_budget_bytes = static_cast<std::uint64_t>(
       mem_budget_gb * 1024.0 * 1024.0 * 1024.0);
+
+  // Load checkpoints BEFORE any sink opens the replicate path: resuming
+  // into the same file must read it completely first.
+  bool resume_into_same_file = false;
+  if (!resume_spec.empty()) {
+    auto checkpoint = std::make_shared<gg::exp::Checkpoint>(
+        scenario.name, scenario.master_seed);
+    for (const auto& path : gg::split(resume_spec, ',')) {
+      if (path.empty()) continue;
+      checkpoint->load_file(path);
+      if (!json_replicates_path.empty() &&
+          same_file(path, json_replicates_path)) {
+        resume_into_same_file = true;
+      }
+    }
+    print_checkpoint_warnings(checkpoint->stats());
+    std::cout << "resume: " << checkpoint->size()
+              << " completed replicate(s) loaded\n";
+    if (merge_only) {
+      const std::size_t tasks =
+          scenario.cells.size() * scenario.replicates;
+      std::size_t missing = 0;
+      for (std::size_t task = 0; task < tasks; ++task) {
+        if (!checkpoint->contains(
+                task / scenario.replicates,
+                static_cast<std::uint32_t>(task % scenario.replicates))) {
+          ++missing;
+        }
+      }
+      if (missing > 0) {
+        std::cerr << "--merge-only: " << missing << " of " << tasks
+                  << " replicates missing from the resume files\n";
+        return 1;
+      }
+    }
+    options.resume_from = std::move(checkpoint);
+  }
+
   std::unique_ptr<gg::exp::JsonLinesSink> replicate_sink;
   if (!json_replicates_path.empty()) {
-    replicate_sink =
-        std::make_unique<gg::exp::JsonLinesSink>(json_replicates_path);
+    replicate_sink = std::make_unique<gg::exp::JsonLinesSink>(
+        json_replicates_path,
+        resume_into_same_file ? gg::exp::JsonLinesSink::Mode::kAppend
+                              : gg::exp::JsonLinesSink::Mode::kTruncate);
     options.progress = [&](const gg::exp::Cell& cell,
                            std::size_t cell_index, std::uint32_t replicate,
                            const gg::exp::ReplicateResult& result) {
@@ -118,6 +295,9 @@ int main(int argc, char** argv) {
   if (compare) {
     gg::exp::RunnerOptions serial_options;
     serial_options.threads = 1;
+    serial_options.shard_index = options.shard_index;
+    serial_options.shard_count = options.shard_count;
+    serial_options.resume_from = options.resume_from;
     const auto serial = gg::exp::Runner(serial_options).run(scenario);
 
     bool identical = parallel.cells.size() == serial.cells.size();

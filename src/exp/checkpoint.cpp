@@ -1,0 +1,543 @@
+#include "exp/checkpoint.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <istream>
+#include <iterator>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "support/check.hpp"
+
+namespace geogossip::exp {
+
+namespace {
+
+// ------------------------------------------------------- mini JSON value ----
+// The sink writes the records, so a small strict parser suffices; anything
+// it rejects is by definition not a record this library produced intact,
+// and the caller's skip-and-count policy handles it.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t uint_value = 0;
+  bool is_uint = false;  ///< digits-only token: uint_value is exact
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> elements;
+
+  const JsonValue* get(std::string_view key) const noexcept {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses exactly one value followed by optional whitespace.
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw JsonParseError("trailing garbage");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw JsonParseError("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw JsonParseError(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kString;
+      value.text = parse_string();
+      return value;
+    }
+    if (c == 't' || c == 'f') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      if (consume_literal("true")) {
+        value.boolean = true;
+      } else if (consume_literal("false")) {
+        value.boolean = false;
+      } else {
+        throw JsonParseError("bad literal");
+      }
+      return value;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) throw JsonParseError("bad literal");
+      return JsonValue{};
+    }
+    // Non-finite extension tokens the sink emits (and Python's json
+    // accepts): NaN, Infinity, -Infinity.
+    if (c == 'N') {
+      if (!consume_literal("NaN")) throw JsonParseError("bad literal");
+      JsonValue value;
+      value.kind = JsonValue::Kind::kNumber;
+      value.number = std::numeric_limits<double>::quiet_NaN();
+      return value;
+    }
+    if (c == 'I' || (c == '-' && pos_ + 1 < text_.size() &&
+                     text_[pos_ + 1] == 'I')) {
+      const bool negative = c == '-';
+      if (negative) ++pos_;
+      if (!consume_literal("Infinity")) throw JsonParseError("bad literal");
+      JsonValue value;
+      value.kind = JsonValue::Kind::kNumber;
+      value.number = negative ? -std::numeric_limits<double>::infinity()
+                              : std::numeric_limits<double>::infinity();
+      return value;
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      value.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.elements.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw JsonParseError("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) throw JsonParseError("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw JsonParseError("bad \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              throw JsonParseError("bad \\u digit");
+            }
+          }
+          // The sink only \u-escapes control characters; reject surrogate
+          // halves, encode the rest as UTF-8.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            throw JsonParseError("surrogate escape");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          throw JsonParseError("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits_only = pos_ > start ? false : true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+        continue;
+      }
+      if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        digits_only = false;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ == start) throw JsonParseError("bad number");
+    const std::string token(text_.substr(start, pos_ - start));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    value.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      throw JsonParseError("bad number");
+    }
+    if (digits_only) {
+      // Unsigned integer token: keep the exact 64-bit value (XL tx counts
+      // can exceed the 2^53 double-exact range).
+      errno = 0;
+      value.uint_value = std::strtoull(token.c_str(), &end, 10);
+      value.is_uint =
+          errno == 0 && end == token.c_str() + token.size();
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------- record reconstruction ----
+
+class RecordError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::uint64_t require_uint(const JsonValue& object, std::string_view key) {
+  const JsonValue* field = object.get(key);
+  if (field == nullptr || !field->is_uint) {
+    throw RecordError(std::string("missing unsigned field ") +
+                      std::string(key));
+  }
+  return field->uint_value;
+}
+
+std::uint64_t optional_uint(const JsonValue& object, std::string_view key) {
+  const JsonValue* field = object.get(key);
+  if (field == nullptr) return 0;
+  if (!field->is_uint) {
+    throw RecordError(std::string("bad unsigned field ") + std::string(key));
+  }
+  return field->uint_value;
+}
+
+double require_double(const JsonValue& object, std::string_view key) {
+  const JsonValue* field = object.get(key);
+  if (field == nullptr || field->kind != JsonValue::Kind::kNumber) {
+    throw RecordError(std::string("missing numeric field ") +
+                      std::string(key));
+  }
+  return field->number;
+}
+
+double optional_double(const JsonValue& object, std::string_view key,
+                       double fallback) {
+  const JsonValue* field = object.get(key);
+  if (field == nullptr) return fallback;
+  if (field->kind != JsonValue::Kind::kNumber) {
+    throw RecordError(std::string("bad numeric field ") + std::string(key));
+  }
+  return field->number;
+}
+
+/// Rebuilds the ReplicateResult a record persists.  Throws RecordError on
+/// missing/ill-typed fields or inconsistent transmission counts — the
+/// caller counts those lines as malformed and lets the replicate re-run.
+ReplicateResult parse_result(const JsonValue& object) {
+  ReplicateResult result;
+  result.seed = require_uint(object, "seed");
+  const JsonValue* converged = object.get("converged");
+  if (converged == nullptr || converged->kind != JsonValue::Kind::kBool) {
+    throw RecordError("missing bool field converged");
+  }
+  result.converged = converged->boolean;
+  result.final_error = require_double(object, "final_error");
+  result.sum_drift = optional_double(object, "sum_drift", 0.0);
+  const std::uint64_t total = require_uint(object, "transmissions");
+  result.transmissions.by_category[static_cast<std::size_t>(
+      sim::TxCategory::kLocal)] = optional_uint(object, "tx_local");
+  result.transmissions.by_category[static_cast<std::size_t>(
+      sim::TxCategory::kLongRange)] = optional_uint(object, "tx_long_range");
+  result.transmissions.by_category[static_cast<std::size_t>(
+      sim::TxCategory::kControl)] = optional_uint(object, "tx_control");
+  if (result.transmissions.total() != total) {
+    // Also rejects pre-category records (total > 0, no breakdown): the
+    // category shares could not be re-aggregated faithfully from them.
+    throw RecordError("transmission categories do not sum to total");
+  }
+  result.far_exchanges = optional_uint(object, "far_exchanges");
+  result.near_exchanges = optional_uint(object, "near_exchanges");
+  if (const JsonValue* metrics = object.get("metrics")) {
+    if (metrics->kind != JsonValue::Kind::kObject) {
+      throw RecordError("metrics is not an object");
+    }
+    for (const auto& [key, value] : metrics->members) {
+      if (value.kind != JsonValue::Kind::kNumber) {
+        throw RecordError("metric value is not a number");
+      }
+      result.metrics[key] = value.number;
+    }
+  }
+  return result;
+}
+
+bool is_blank(std::string_view line) noexcept {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Checkpoint::Checkpoint(std::string scenario, std::uint64_t master_seed)
+    : scenario_(std::move(scenario)), master_seed_(master_seed) {}
+
+bool Checkpoint::contains(std::size_t cell_index,
+                          std::uint32_t replicate) const {
+  return records_.count(Key{cell_index, replicate}) != 0;
+}
+
+const ReplicateResult* Checkpoint::find(std::size_t cell_index,
+                                        std::uint32_t replicate) const {
+  const auto it = records_.find(Key{cell_index, replicate});
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void Checkpoint::load(std::istream& in) {
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t newline = text.find('\n', pos);
+    const bool has_newline = newline != std::string::npos;
+    const std::string_view line(
+        text.data() + pos, (has_newline ? newline : text.size()) - pos);
+    pos = has_newline ? newline + 1 : text.size();
+    if (is_blank(line)) continue;
+
+    // A final line without its newline is crash debris from a killed
+    // writer — any failure below lands in torn_tail instead of malformed.
+    // The one exception that succeeds: a tail that parses as a COMPLETE
+    // record lost only its '\n' (records close with "}\n" in one write,
+    // so no strict prefix of one is itself valid JSON) and is accepted;
+    // tools/merge_replicates.py applies the same rule.
+    try {
+      const JsonValue object = JsonParser(line).parse();
+      if (object.kind != JsonValue::Kind::kObject) {
+        throw RecordError("line is not an object");
+      }
+      const JsonValue* record = object.get("record");
+      if (record == nullptr || record->kind != JsonValue::Kind::kString ||
+          record->text != "replicate") {
+        // Per-cell summary lines (no "record" discriminator) and future
+        // record kinds interleave legally with replicate records.
+        ++stats_.other_lines;
+        continue;
+      }
+      const JsonValue* scenario = object.get("scenario");
+      if (scenario == nullptr ||
+          scenario->kind != JsonValue::Kind::kString) {
+        throw RecordError("missing scenario");
+      }
+      const std::uint64_t master_seed = require_uint(object, "master_seed");
+      if (scenario->text != scenario_ || master_seed != master_seed_) {
+        ++stats_.foreign;
+        continue;
+      }
+      const auto cell_index =
+          static_cast<std::size_t>(require_uint(object, "cell_index"));
+      const auto replicate_raw = require_uint(object, "replicate");
+      if (replicate_raw > 0xFFFFFFFFull) {
+        throw RecordError("replicate out of range");
+      }
+      const auto replicate = static_cast<std::uint32_t>(replicate_raw);
+      ReplicateResult result = parse_result(object);
+
+      const Key key{cell_index, replicate};
+      const auto it = records_.find(key);
+      if (it != records_.end()) {
+        if (results_equal(it->second, result)) {
+          ++stats_.duplicate;
+          continue;
+        }
+        throw ArgumentError(
+            "Checkpoint::load: conflicting records for cell_index " +
+            std::to_string(cell_index) + " replicate " +
+            std::to_string(replicate) +
+            " — same key, different payload (corrupted or mismatched "
+            "shard files?)");
+      }
+      records_.emplace(key, std::move(result));
+      ++stats_.accepted;
+    } catch (const JsonParseError&) {
+      if (has_newline) {
+        ++stats_.malformed;
+      } else {
+        stats_.torn_tail = true;
+      }
+    } catch (const RecordError&) {
+      if (has_newline) {
+        ++stats_.malformed;
+      } else {
+        stats_.torn_tail = true;
+      }
+    }
+  }
+}
+
+void Checkpoint::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GG_CHECK_ARG(in.is_open(), "Checkpoint: cannot open '" + path + "'");
+  load(in);
+}
+
+namespace {
+
+/// Value equality where NaN == NaN: two loads of the same record must
+/// compare equal (duplicate), never conflicting, even when the replicate
+/// produced a NaN.
+bool same_double(double a, double b) noexcept {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+}  // namespace
+
+bool results_equal(const ReplicateResult& a,
+                   const ReplicateResult& b) noexcept {
+  if (!(a.seed == b.seed && a.converged == b.converged &&
+        same_double(a.final_error, b.final_error) &&
+        same_double(a.sum_drift, b.sum_drift) &&
+        a.transmissions.by_category == b.transmissions.by_category &&
+        a.far_exchanges == b.far_exchanges &&
+        a.near_exchanges == b.near_exchanges &&
+        a.metrics.size() == b.metrics.size())) {
+    return false;
+  }
+  for (auto it_a = a.metrics.begin(), it_b = b.metrics.begin();
+       it_a != a.metrics.end(); ++it_a, ++it_b) {
+    if (it_a->first != it_b->first ||
+        !same_double(it_a->second, it_b->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string shard_path(const std::string& path, std::uint32_t shard_index,
+                       std::uint32_t shard_count) {
+  GG_CHECK_ARG(shard_count >= 1, "shard_path: shard_count >= 1");
+  GG_CHECK_ARG(shard_index < shard_count,
+               "shard_path: shard_index < shard_count");
+  const std::string tag =
+      std::to_string(shard_index) + "-of-" + std::to_string(shard_count);
+
+  static constexpr std::string_view kPlaceholder = "{shard}";
+  if (path.find(kPlaceholder) != std::string::npos) {
+    std::string out = path;
+    std::size_t pos = 0;
+    while ((pos = out.find(kPlaceholder, pos)) != std::string::npos) {
+      out.replace(pos, kPlaceholder.size(), tag);
+      pos += tag.size();
+    }
+    return out;
+  }
+  if (shard_count == 1) return path;
+
+  const std::size_t slash = path.find_last_of("/\\");
+  const std::size_t dot =
+      path.find('.', slash == std::string::npos ? 0 : slash + 1);
+  const std::string infix = ".shard-" + tag;
+  if (dot == std::string::npos) return path + infix;
+  return path.substr(0, dot) + infix + path.substr(dot);
+}
+
+}  // namespace geogossip::exp

@@ -110,17 +110,65 @@ Runner::Runner(RunnerOptions options) : options_(std::move(options)) {}
 SweepSummary Runner::run(const Scenario& scenario) const {
   GG_CHECK_ARG(!scenario.cells.empty(), "Runner::run: scenario has cells");
   GG_CHECK_ARG(scenario.replicates >= 1, "Runner::run: replicates >= 1");
+  GG_CHECK_ARG(options_.shard_count >= 1,
+               "Runner::run: shard_count >= 1");
+  GG_CHECK_ARG(options_.shard_index < options_.shard_count,
+               "Runner::run: shard_index < shard_count");
+  const Checkpoint* resume = options_.resume_from.get();
+  if (resume != nullptr) {
+    GG_CHECK_ARG(resume->scenario() == scenario.name &&
+                     resume->master_seed() == scenario.master_seed,
+                 "Runner::run: resume checkpoint is for a different "
+                 "(scenario, master_seed)");
+  }
 
   const std::size_t cell_count = scenario.cells.size();
   const std::uint32_t replicates = scenario.replicates;
   const std::size_t task_count = cell_count * replicates;
   std::vector<ReplicateResult> results(task_count);
+  // Tasks outside this shard (and outside the checkpoint) stay unset and
+  // are excluded from aggregation below.
+  std::vector<std::uint8_t> have(task_count, 0);
+
+  // Partition first, then subtract completed work: a shard resumed from
+  // the merged k-shard file still re-runs only its own missing tasks.
+  std::vector<std::size_t> pending;
+  std::uint64_t resumed = 0;
+  for (std::size_t task = 0; task < task_count; ++task) {
+    if (!shard_owns(options_.shard_index, options_.shard_count, task)) {
+      continue;
+    }
+    const std::size_t cell_index = task / replicates;
+    const auto replicate = static_cast<std::uint32_t>(task % replicates);
+    if (resume != nullptr) {
+      if (const ReplicateResult* done = resume->find(cell_index, replicate)) {
+        const Cell& cell = scenario.cells[cell_index];
+        const std::size_t stream = cell.seed_stream == kAutoSeedStream
+                                       ? cell_index
+                                       : cell.seed_stream;
+        const std::uint64_t expected =
+            replicate_seed(scenario.master_seed, stream, replicate);
+        GG_CHECK_ARG(
+            done->seed == expected,
+            "Runner::run: resume record seed mismatch at cell_index " +
+                std::to_string(cell_index) + " replicate " +
+                std::to_string(replicate) +
+                " — checkpoint from a different scenario definition?");
+        results[task] = *done;
+        have[task] = 1;
+        ++resumed;
+        continue;
+      }
+    }
+    pending.push_back(task);
+  }
 
   ThreadPool pool(options_.threads);
   MemoryGate gate(options_.memory_budget_bytes);
   std::mutex progress_mu;
   const auto start = std::chrono::steady_clock::now();
-  pool.run(task_count, [&](std::size_t task) {
+  pool.run(pending.size(), [&](std::size_t index) {
+    const std::size_t task = pending[index];
     const std::size_t cell_index = task / replicates;
     const auto replicate = static_cast<std::uint32_t>(task % replicates);
     const Cell& cell = scenario.cells[cell_index];
@@ -137,9 +185,14 @@ SweepSummary Runner::run(const Scenario& scenario) const {
     }
     gate.release(cell.mem_hint_bytes);
     if (options_.progress) {
+      // The callback runs BEFORE the task is marked held: a sink that
+      // throws (disk full, failed stream) keeps the replicate out of the
+      // completed set, so a crash can never report work the checkpoint
+      // file does not hold.
       std::lock_guard<std::mutex> lock(progress_mu);
       options_.progress(cell, cell_index, replicate, results[task]);
     }
+    have[task] = 1;
   });
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
@@ -150,15 +203,21 @@ SweepSummary Runner::run(const Scenario& scenario) const {
   summary.master_seed = scenario.master_seed;
   summary.threads = pool.thread_count();
   summary.wall_seconds = elapsed.count();
+  summary.shard_index = options_.shard_index;
+  summary.shard_count = options_.shard_count;
+  summary.resumed_replicates = resumed;
+  summary.executed_replicates = pending.size();
   summary.cells.reserve(cell_count);
 
   // Aggregation runs sequentially in (cell, replicate) index order, so the
-  // numbers below cannot depend on how the pool interleaved the tasks.
+  // numbers below cannot depend on how the pool interleaved the tasks —
+  // and, because re-ingested results occupy the same index slots they
+  // would have been computed into, not on how many of them were resumed.
   for (std::size_t c = 0; c < cell_count; ++c) {
     CellSummary cs;
     cs.cell = scenario.cells[c];
     cs.cell_index = c;
-    cs.replicates = replicates;
+    cs.replicates = 0;
 
     stats::Quantiles tx;
     double local = 0.0;
@@ -168,6 +227,8 @@ SweepSummary Runner::run(const Scenario& scenario) const {
     std::uint32_t far_near_count = 0;
     std::map<std::string, stats::Quantiles> metric_samples;
     for (std::uint32_t r = 0; r < replicates; ++r) {
+      if (!have[c * replicates + r]) continue;
+      ++cs.replicates;
       const ReplicateResult& rr = results[c * replicates + r];
       if (options_.keep_replicates) cs.raw.push_back(rr);
       for (const auto& [key, value] : rr.metrics) {
@@ -192,8 +253,13 @@ SweepSummary Runner::run(const Scenario& scenario) const {
         ++far_near_count;
       }
     }
+    // Denominator: the replicates aggregated HERE (== the scenario's count
+    // for a full run, so uninterrupted arithmetic is unchanged; a shard's
+    // partial view divides by its own share).
     cs.converged_fraction =
-        static_cast<double>(cs.converged) / static_cast<double>(replicates);
+        cs.replicates == 0 ? 0.0
+                           : static_cast<double>(cs.converged) /
+                                 static_cast<double>(cs.replicates);
     if (tx.count() > 0) {
       cs.median_tx = tx.median();
       cs.q25_tx = tx.quantile(0.25);
@@ -331,7 +397,15 @@ void print_summary(std::ostream& out, const SweepSummary& summary) {
   print_metrics_table(out, summary);
   out << "[" << summary.scenario << "] replicates=" << summary.replicates
       << " seed=" << summary.master_seed << " threads=" << summary.threads
-      << " wall=" << format_fixed(summary.wall_seconds, 2) << "s\n";
+      << " wall=" << format_fixed(summary.wall_seconds, 2) << "s";
+  if (summary.shard_count > 1) {
+    out << " shard=" << summary.shard_index << "/" << summary.shard_count;
+  }
+  if (summary.resumed_replicates > 0) {
+    out << " resumed=" << summary.resumed_replicates
+        << " executed=" << summary.executed_replicates;
+  }
+  out << "\n";
 }
 
 }  // namespace geogossip::exp

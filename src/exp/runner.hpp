@@ -15,10 +15,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "exp/checkpoint.hpp"
 #include "exp/scenario.hpp"
 #include "sim/metrics.hpp"
 
@@ -45,6 +47,9 @@ struct MetricSummary {
 struct CellSummary {
   Cell cell;
   std::size_t cell_index = 0;
+  /// Replicates aggregated for this cell: the scenario's replicate count
+  /// for a full run, the owned subset for a sharded run (a shard's summary
+  /// is a partial view — the merged aggregation is the authoritative one).
   std::uint32_t replicates = 0;
   std::uint32_t converged = 0;
   double converged_fraction = 0.0;
@@ -72,6 +77,13 @@ struct SweepSummary {
   std::uint64_t master_seed = 0;
   unsigned threads = 1;
   double wall_seconds = 0.0;
+  /// Shard coordinates this summary was produced under (0 of 1 = full run).
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  /// Replicates re-ingested from RunnerOptions::resume_from instead of run.
+  std::uint64_t resumed_replicates = 0;
+  /// Replicates actually executed by this process.
+  std::uint64_t executed_replicates = 0;
   std::vector<CellSummary> cells;
 };
 
@@ -87,10 +99,32 @@ struct RunnerOptions {
   /// larger than the budget still runs — alone).  Gating changes only
   /// scheduling, never results: aggregation stays bit-identical.
   std::uint64_t memory_budget_bytes = 0;
+  /// Round-robin shard partition of the flattened (cell_index, replicate)
+  /// task stream (see shard_owns): this runner executes only the tasks with
+  /// task % shard_count == shard_index, so k cooperating processes cover a
+  /// sweep exactly once between them.  Seeds are untouched by sharding —
+  /// every shard draws from the same replicate_seed stream the unsharded
+  /// run would — and each shard's summary aggregates only its own
+  /// replicates (merge the shard record files for the authoritative one).
+  /// shard_count = 1 (default) runs everything.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  /// Completed-set from a previous — possibly killed — run of the SAME
+  /// (scenario, master_seed).  Tasks found here are skipped: their
+  /// persisted results are re-ingested into the aggregation (after
+  /// verifying the persisted seed against the scenario's seed-stream, so a
+  /// checkpoint from an edited scenario definition fails loudly), making
+  /// resumed aggregates bit-identical to an uninterrupted run at any
+  /// thread count.  Progress does NOT fire for re-ingested replicates —
+  /// they are already on disk.
+  std::shared_ptr<const Checkpoint> resume_from;
   /// Called after each replicate finishes (serialized across workers).
   /// `cell_index` and `replicate` identify the slot — together with the
   /// scenario's master seed they are the replicate's durable identity,
-  /// which streaming sinks persist for interrupted-sweep resume.
+  /// which streaming sinks persist for interrupted-sweep resume.  A throw
+  /// from the callback (e.g. a sink whose disk filled) propagates out of
+  /// Runner::run — a replicate is never reported complete when its record
+  /// could not be persisted.
   std::function<void(const Cell& cell, std::size_t cell_index,
                      std::uint32_t replicate, const ReplicateResult& result)>
       progress;
@@ -102,7 +136,9 @@ class Runner {
 
   const RunnerOptions& options() const noexcept { return options_; }
 
-  /// Runs every (cell, replicate) of `scenario` and aggregates per cell.
+  /// Runs every (cell, replicate) of `scenario` this runner owns (see
+  /// shard_index/shard_count) that is not already in resume_from, and
+  /// aggregates per cell over the owned + re-ingested replicates.
   SweepSummary run(const Scenario& scenario) const;
 
  private:

@@ -1,5 +1,6 @@
 #include "exp/sink.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 #include <sstream>
@@ -24,9 +25,16 @@ const std::vector<std::string>& csv_columns() {
   return columns;
 }
 
-/// Shortest round-trip double formatting (JSON has no Inf/NaN; the sinks
-/// only ever see finite aggregates).
+/// Round-trip double formatting (17 significant digits).  Replicate
+/// records can carry non-finite values — the deviation tracker is
+/// NaN-propagating and probe TrialFns return arbitrary doubles — which
+/// strict JSON cannot represent; emit the Python-style extension tokens
+/// (NaN / Infinity / -Infinity) that json.loads accepts by default and
+/// exp::Checkpoint's parser understands, rather than the unloadable
+/// "nan"/"inf" iostreams would print.
 std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Infinity" : "-Infinity";
   std::ostringstream os;
   os << std::setprecision(17) << value;
   return os.str();
@@ -104,11 +112,28 @@ void CsvSink::write(const SweepSummary& summary) {
   }
 }
 
-JsonLinesSink::JsonLinesSink(const std::string& path)
-    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+JsonLinesSink::JsonLinesSink(const std::string& path, Mode mode)
+    : owned_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | (mode == Mode::kAppend ? std::ios::app
+                                                          : std::ios::trunc))),
       out_(owned_.get()) {
   GG_CHECK_ARG(owned_->is_open(),
                "JsonLinesSink: cannot open '" + path + "'");
+  if (mode == Mode::kAppend) {
+    // Seal a torn tail left by a killed writer: with the newline added,
+    // the debris is one malformed line the checkpoint reader skips and
+    // counts, rather than a prefix that corrupts the first new record.
+    std::ifstream existing(path, std::ios::binary | std::ios::ate);
+    if (existing.is_open() && existing.tellg() > std::streamoff{0}) {
+      existing.seekg(-1, std::ios::end);
+      char last = '\n';
+      existing.get(last);
+      if (last != '\n') {
+        *out_ << '\n';
+        out_->flush();
+      }
+    }
+  }
 }
 
 JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(&out) {}
@@ -182,7 +207,18 @@ void JsonLinesSink::write_replicate(const std::string& scenario,
       << ",\"seed\":" << result.seed
       << ",\"converged\":" << (result.converged ? "true" : "false")
       << ",\"final_error\":" << format_double(result.final_error)
+      << ",\"sum_drift\":" << format_double(result.sum_drift)
       << ",\"transmissions\":" << result.transmissions.total();
+  if (result.transmissions.total() > 0) {
+    // Per-category breakdown: without it a resumed run could not rebuild
+    // the local/long-range/control share aggregates bit-identically.
+    out << ",\"tx_local\":"
+        << result.transmissions[sim::TxCategory::kLocal]
+        << ",\"tx_long_range\":"
+        << result.transmissions[sim::TxCategory::kLongRange]
+        << ",\"tx_control\":"
+        << result.transmissions[sim::TxCategory::kControl];
+  }
   if (result.near_exchanges > 0 || result.far_exchanges > 0) {
     out << ",\"far_exchanges\":" << result.far_exchanges
         << ",\"near_exchanges\":" << result.near_exchanges;
@@ -199,8 +235,17 @@ void JsonLinesSink::write_replicate(const std::string& scenario,
   }
   out << "}\n";
   // Flush per record, not per sweep: an interrupted XL run keeps every
-  // finished replicate — the raw material for resumable sweeps.
+  // finished replicate — the raw material for resumable sweeps.  A failed
+  // stream after the flush (disk full, revoked mount) must throw so the
+  // Runner never marks this replicate complete without its record on disk.
   out.flush();
+  if (!out.good()) {
+    throw IoError(
+        "JsonLinesSink::write_replicate: stream failed while persisting "
+        "cell_index " +
+        std::to_string(cell_index) + " replicate " +
+        std::to_string(replicate));
+  }
 }
 
 void write_sinks(const SweepSummary& summary, const std::string& csv_path,

@@ -57,12 +57,24 @@ class CsvSink final : public Sink {
 /// replicate-level record (write_replicate) that is flushed after EVERY
 /// line, so a sweep killed mid-flight — an XL cell can run for hours —
 /// keeps everything finished so far on disk.  Replicate records carry
-/// (scenario, master_seed, cell_index, replicate): exactly the identity a
-/// future resumable runner needs to skip completed (cell, replicate) pairs.
+/// (scenario, master_seed, cell_index, replicate) — the identity
+/// exp::Checkpoint keys on — plus the full ReplicateResult payload
+/// (per-category transmissions, exchange counts, metrics), so a resumed
+/// run re-ingests them bit-identically instead of re-running.
 class JsonLinesSink final : public Sink {
  public:
-  /// Opens (truncates) `path`; throws ArgumentError if it cannot be opened.
-  explicit JsonLinesSink(const std::string& path);
+  enum class Mode {
+    kTruncate,  ///< start a fresh file
+    kAppend,    ///< continue an interrupted file (resume into the same path)
+  };
+
+  /// Opens `path`; throws ArgumentError if it cannot be opened.  kAppend
+  /// first seals a torn final line (a non-empty file not ending in '\n'
+  /// gets one) so crash debris from the previous writer becomes one
+  /// self-contained malformed line — skipped with a count on the next
+  /// Checkpoint::load — instead of gluing onto the first new record.
+  explicit JsonLinesSink(const std::string& path,
+                         Mode mode = Mode::kTruncate);
   explicit JsonLinesSink(std::ostream& out);
 
   void write(const SweepSummary& summary) override;
@@ -70,7 +82,9 @@ class JsonLinesSink final : public Sink {
   /// Appends one replicate record ({"record":"replicate", ...}) and
   /// flushes immediately.  Wire into RunnerOptions::progress to stream a
   /// sweep; records interleave safely with the per-cell write() lines
-  /// because each carries its own "record" discriminator.
+  /// because each carries its own "record" discriminator.  Throws IoError
+  /// when the stream is failed after the flush: the Runner then aborts
+  /// instead of reporting replicates complete that the file does not hold.
   void write_replicate(const std::string& scenario,
                        std::uint64_t master_seed, const Cell& cell,
                        std::size_t cell_index, std::uint32_t replicate,

@@ -27,6 +27,16 @@ class ArgumentError : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+/// Thrown when a file or stream operation fails mid-flight (disk full,
+/// sink stream in a failed state).  Distinct from ArgumentError — the
+/// caller's arguments were fine, the environment failed — so crash-safe
+/// writers (JsonLinesSink::write_replicate) can guarantee "no record
+/// reported complete unless it reached the stream".
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* kind,

@@ -5,10 +5,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "exp/checkpoint.hpp"
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
@@ -618,6 +621,289 @@ TEST(Sinks, JsonEscapeHandlesQuotesBackslashesAndControls) {
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json_escape("a\nb"), "a\\nb");
   EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+// --------------------------------------------------------- resume & shard ----
+
+/// Renders a summary through the CSV sink: byte equality here IS the
+/// "bit-identical aggregates" acceptance criterion (every aggregate double
+/// is printed with 17 significant digits).
+std::string to_csv(const SweepSummary& summary) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.write(summary);
+  return out.str();
+}
+
+/// Runs `scenario` streaming replicate records, returning (summary, text
+/// of the record file).
+std::pair<SweepSummary, std::string> run_streaming(
+    const Scenario& scenario, unsigned threads, std::uint32_t shard_index = 0,
+    std::uint32_t shard_count = 1) {
+  std::ostringstream records;
+  JsonLinesSink sink(records);
+  RunnerOptions options;
+  options.threads = threads;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
+  options.progress = [&](const Cell& cell, std::size_t cell_index,
+                         std::uint32_t replicate,
+                         const ReplicateResult& result) {
+    sink.write_replicate(scenario.name, scenario.master_seed, cell,
+                         cell_index, replicate, result);
+  };
+  auto summary = Runner(options).run(scenario);
+  return {std::move(summary), records.str()};
+}
+
+std::shared_ptr<Checkpoint> checkpoint_from(const Scenario& scenario,
+                                            const std::string& text) {
+  auto checkpoint =
+      std::make_shared<Checkpoint>(scenario.name, scenario.master_seed);
+  std::istringstream in(text);
+  checkpoint->load(in);
+  return checkpoint;
+}
+
+TEST(Resume, CrashResumeRoundTripIsBitIdenticalAtTwoThreadCounts) {
+  const auto scenario = tiny_scenario(4);
+  for (const unsigned threads : {1u, 3u}) {
+    const auto [clean, full] = run_streaming(scenario, threads);
+    const std::string clean_csv = to_csv(clean);
+    const std::size_t total_tasks =
+        scenario.cells.size() * scenario.replicates;
+
+    // Truncate the record file as a SIGKILL would: nothing written yet,
+    // a record boundary, and mid-record (torn tail).
+    const std::size_t boundary = full.find('\n', full.size() / 3) + 1;
+    const std::size_t mid_record = full.find('\n', full.size() / 2) + 20;
+    for (const std::size_t cut :
+         {std::size_t{0}, boundary, mid_record, full.size()}) {
+      const auto checkpoint =
+          checkpoint_from(scenario, full.substr(0, cut));
+      RunnerOptions options;
+      options.threads = threads;
+      options.resume_from = checkpoint;
+      const auto resumed = Runner(options).run(scenario);
+
+      EXPECT_EQ(resumed.resumed_replicates, checkpoint->size())
+          << "cut=" << cut;
+      EXPECT_EQ(resumed.executed_replicates,
+                total_tasks - checkpoint->size())
+          << "cut=" << cut;
+      // The acceptance criterion: a killed-and-resumed sweep emits the
+      // same CSV bytes as the uninterrupted run.
+      EXPECT_EQ(to_csv(resumed), clean_csv)
+          << "threads=" << threads << " cut=" << cut;
+    }
+  }
+}
+
+TEST(Resume, ProbeMetricsSurviveTheRoundTrip) {
+  // Metric maps (the probe figures' payload) must re-ingest bit-identically
+  // too, not just transmission aggregates.
+  const auto scenario = metric_scenario(5);
+  const auto [clean, full] = run_streaming(scenario, 2);
+  const std::size_t cut = full.find('\n', full.size() / 2) + 1;
+  const auto checkpoint = checkpoint_from(scenario, full.substr(0, cut));
+  ASSERT_GT(checkpoint->size(), 0u);
+
+  RunnerOptions options;
+  options.threads = 2;
+  options.resume_from = checkpoint;
+  const auto resumed = Runner(options).run(scenario);
+  EXPECT_EQ(to_csv(resumed), to_csv(clean));
+  ASSERT_EQ(resumed.cells.size(), clean.cells.size());
+  for (std::size_t c = 0; c < clean.cells.size(); ++c) {
+    for (const auto& [key, ms] : clean.cells[c].metrics) {
+      const auto& other = resumed.cells[c].metrics.at(key);
+      EXPECT_EQ(ms.mean, other.mean) << key;
+      EXPECT_EQ(ms.median, other.median) << key;
+      EXPECT_EQ(ms.q95, other.q95) << key;
+    }
+  }
+}
+
+TEST(Resume, ResumedReplicatesDoNotRefireProgress) {
+  const auto scenario = tiny_scenario(3);
+  const auto [clean, full] = run_streaming(scenario, 2);
+  const auto checkpoint = checkpoint_from(scenario, full);
+
+  std::atomic<int> calls{0};
+  RunnerOptions options;
+  options.threads = 2;
+  options.resume_from = checkpoint;
+  options.progress = [&](const Cell&, std::size_t, std::uint32_t,
+                         const ReplicateResult&) { calls.fetch_add(1); };
+  const auto resumed = Runner(options).run(scenario);
+  // Everything was already on disk: nothing re-runs, nothing re-streams.
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(resumed.executed_replicates, 0u);
+  EXPECT_EQ(resumed.resumed_replicates,
+            scenario.cells.size() * scenario.replicates);
+}
+
+TEST(Resume, RejectsCheckpointForADifferentSweep) {
+  const auto scenario = tiny_scenario(2);
+  RunnerOptions options;
+  options.threads = 1;
+  options.resume_from =
+      std::make_shared<Checkpoint>("other-scenario", scenario.master_seed);
+  EXPECT_THROW(Runner(options).run(scenario), ArgumentError);
+
+  RunnerOptions wrong_seed;
+  wrong_seed.threads = 1;
+  wrong_seed.resume_from =
+      std::make_shared<Checkpoint>(scenario.name, scenario.master_seed + 1);
+  EXPECT_THROW(Runner(wrong_seed).run(scenario), ArgumentError);
+}
+
+TEST(Resume, RejectsSeedMismatchFromAnEditedScenario) {
+  const auto scenario = tiny_scenario(2);
+  // A record whose key exists but whose seed disagrees with the scenario's
+  // seed-stream: the checkpoint belongs to a different cell layout.
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  ReplicateResult doctored;
+  doctored.seed = 999;  // never a replicate_seed(7, 0, 0)
+  doctored.converged = true;
+  doctored.final_error = 0.5;
+  sink.write_replicate(scenario.name, scenario.master_seed,
+                       scenario.cells[0], 0, 0, doctored);
+  RunnerOptions options;
+  options.threads = 1;
+  options.resume_from = checkpoint_from(scenario, out.str());
+  EXPECT_THROW(Runner(options).run(scenario), ArgumentError);
+}
+
+TEST(Resume, ThrowingProgressSinkAbortsTheRun) {
+  // Satellite regression: the record write happens BEFORE a replicate is
+  // marked complete, so a sink failure must surface as an exception from
+  // Runner::run — never a summary that silently claims the work.
+  const auto scenario = tiny_scenario(2);
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  std::atomic<int> calls{0};
+  RunnerOptions options;
+  options.threads = 2;
+  options.progress = [&](const Cell& cell, std::size_t cell_index,
+                         std::uint32_t replicate,
+                         const ReplicateResult& result) {
+    if (calls.fetch_add(1) == 2) {
+      out.setstate(std::ios::badbit);  // disk full from here on
+    }
+    sink.write_replicate(scenario.name, scenario.master_seed, cell,
+                         cell_index, replicate, result);
+  };
+  EXPECT_THROW(Runner(options).run(scenario), IoError);
+  // Whatever DID reach the stream before the failure is a valid partial
+  // checkpoint a resume can pick up — the flushed-record invariant.  The
+  // first two progress calls wrote records; the third found the stream
+  // dead and threw before claiming its replicate.
+  out.clear();
+  const auto checkpoint = checkpoint_from(scenario, out.str());
+  EXPECT_EQ(checkpoint->size(), 2u);
+}
+
+TEST(Sharding, ShardsPartitionReplicatesExactlyAndSeedsMatchTheStream) {
+  const auto scenario = tiny_scenario(5);
+  const std::size_t total_tasks =
+      scenario.cells.size() * scenario.replicates;
+  for (const std::uint32_t k : {1u, 2u, 3u, 7u}) {
+    std::set<std::pair<std::size_t, std::uint32_t>> seen;
+    for (std::uint32_t shard = 0; shard < k; ++shard) {
+      RunnerOptions options;
+      options.threads = 2;
+      options.shard_index = shard;
+      options.shard_count = k;
+      options.progress = [&](const Cell& cell, std::size_t cell_index,
+                             std::uint32_t replicate,
+                             const ReplicateResult& result) {
+        // Disjoint: no other shard may have produced this slot.
+        EXPECT_TRUE(seen.emplace(cell_index, replicate).second)
+            << "k=" << k << " cell=" << cell_index << " rep=" << replicate;
+        // Sharding must not bend the seed-stream: every shard draws the
+        // seed the unsharded run would.
+        const std::size_t stream = cell.seed_stream == kAutoSeedStream
+                                       ? cell_index
+                                       : cell.seed_stream;
+        EXPECT_EQ(result.seed, replicate_seed(scenario.master_seed, stream,
+                                              replicate));
+      };
+      const auto summary = Runner(options).run(scenario);
+      std::uint32_t owned = 0;
+      for (const auto& cs : summary.cells) owned += cs.replicates;
+      EXPECT_EQ(owned, summary.executed_replicates) << "k=" << k;
+    }
+    // Covering: the shards produced every (cell, replicate) exactly once.
+    EXPECT_EQ(seen.size(), total_tasks) << "k=" << k;
+  }
+}
+
+TEST(Sharding, MergedShardFilesReproduceTheUnshardedRunBitIdentically) {
+  const auto scenario = tiny_scenario(5);
+  for (const unsigned threads : {1u, 3u}) {
+    const auto [clean, unused] = run_streaming(scenario, threads);
+    const std::string clean_csv = to_csv(clean);
+    const auto ks = threads == 1 ? std::vector<std::uint32_t>{2}
+                                 : std::vector<std::uint32_t>{2, 3, 7};
+    for (const std::uint32_t k : ks) {
+      auto merged = std::make_shared<Checkpoint>(scenario.name,
+                                                 scenario.master_seed);
+      for (std::uint32_t shard = 0; shard < k; ++shard) {
+        const auto [summary, records] =
+            run_streaming(scenario, threads, shard, k);
+        EXPECT_EQ(summary.shard_index, shard);
+        EXPECT_EQ(summary.shard_count, k);
+        std::istringstream in(records);
+        merged->load(in);
+      }
+      ASSERT_EQ(merged->size(),
+                scenario.cells.size() * scenario.replicates);
+
+      // The merge-aggregation path: resume from the folded shard files,
+      // run nothing, aggregate — the summaries a single uninterrupted
+      // single-process run would emit.
+      RunnerOptions options;
+      options.threads = threads;
+      options.resume_from = merged;
+      const auto folded = Runner(options).run(scenario);
+      EXPECT_EQ(folded.executed_replicates, 0u);
+      EXPECT_EQ(to_csv(folded), clean_csv)
+          << "k=" << k << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Sharding, RunnerValidatesShardCoordinates) {
+  const auto scenario = tiny_scenario(2);
+  RunnerOptions options;
+  options.threads = 1;
+  options.shard_count = 0;
+  EXPECT_THROW(Runner(options).run(scenario), ArgumentError);
+  options.shard_count = 2;
+  options.shard_index = 2;
+  EXPECT_THROW(Runner(options).run(scenario), ArgumentError);
+}
+
+TEST(Sharding, ShardResumedFromMergedFileRerunsNothing) {
+  // A shard pointed at the full merged checkpoint must subtract completed
+  // work from ITS OWN partition only — and end up with zero to execute.
+  const auto scenario = tiny_scenario(4);
+  const auto [clean, full] = run_streaming(scenario, 2);
+  const auto checkpoint = checkpoint_from(scenario, full);
+  for (std::uint32_t shard = 0; shard < 2; ++shard) {
+    RunnerOptions options;
+    options.threads = 2;
+    options.shard_index = shard;
+    options.shard_count = 2;
+    options.resume_from = checkpoint;
+    const auto summary = Runner(options).run(scenario);
+    EXPECT_EQ(summary.executed_replicates, 0u);
+    // Only the shard's own tasks are re-ingested into its partial view.
+    EXPECT_EQ(summary.resumed_replicates,
+              (scenario.cells.size() * scenario.replicates + 1 - shard) / 2);
+  }
 }
 
 }  // namespace

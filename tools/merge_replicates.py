@@ -1,0 +1,386 @@
+#!/usr/bin/env python3
+"""Merge per-replicate JSON-lines files from sharded/interrupted sweeps.
+
+parallel_sweep --json-replicates streams one flushed record per finished
+replicate, keyed by (scenario, master_seed, cell_index, replicate).  A
+sweep split with --shard i/k produces k such files; a killed run produces
+one partial file, possibly with a torn final line.  This tool folds any
+number of them into ONE canonical file: validated, de-duplicated, sorted
+by (cell_index, replicate) — ready for
+
+    parallel_sweep --scenario=<name> --merge-only --resume=merged.jsonl \
+        --csv=final.csv
+
+which re-aggregates the records in C++ and emits summaries bit-identical
+to a single uninterrupted run.
+
+Tolerance policy (mirrors src/exp/checkpoint.cpp):
+  - torn final line (no trailing newline): tolerated, counted — unless it
+    parses as a complete record, which is accepted (only the '\n' is lost)
+  - unparsable interior line: skipped with a warning
+  - non-replicate lines (per-cell summaries): passed over silently
+  - duplicate key, identical payload: collapsed to one record
+  - duplicate key, CONFLICTING payload: hard error (exit 1)
+  - records from more than one (scenario, master_seed): hard error unless
+    --scenario/--master-seed select one sweep to extract
+
+Completeness: --expect-cells C and --expect-replicates R check that every
+(cell_index < C, replicate < R) pair is present; missing pairs are an
+error unless --allow-missing.
+
+Self-test: `merge_replicates.py --self-test` runs the built-in unit tests
+(no files or arguments needed); CI and ctest invoke it that way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def parse_file(path, stats, warn):
+    """Yields (key, record_dict, raw_line) for each replicate record."""
+    data = Path(path).read_bytes()
+    lines = data.split(b"\n")
+    tail = b""
+    if lines and lines[-1] != b"":
+        tail = lines[-1]
+        lines = lines[:-1]
+    else:
+        lines = lines[:-1] if lines and lines[-1] == b"" else lines
+
+    def extract(raw, is_tail, lineno):
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            if is_tail:
+                stats["torn"] += 1
+                warn(f"{path}: torn final line tolerated (killed writer)")
+            else:
+                stats["malformed"] += 1
+                warn(f"{path}:{lineno}: unparsable line skipped")
+            return None
+        if not isinstance(record, dict) or record.get("record") != "replicate":
+            stats["other"] += 1
+            return None
+        try:
+            key = (
+                record["scenario"],
+                int(record["master_seed"]),
+                int(record["cell_index"]),
+                int(record["replicate"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            if is_tail:
+                stats["torn"] += 1
+                warn(f"{path}: torn final line tolerated (killed writer)")
+            else:
+                stats["malformed"] += 1
+                warn(
+                    f"{path}:{lineno}: replicate record missing its key — "
+                    "skipped"
+                )
+            return None
+        return key, record, raw
+
+    for lineno, raw in enumerate(lines, start=1):
+        if not raw.strip():
+            continue
+        parsed = extract(raw, is_tail=False, lineno=lineno)
+        if parsed is not None:
+            yield parsed
+
+    if tail.strip():
+        # Crash debris from a killed writer — unless it parses as a whole
+        # record, in which case only the newline is missing and the record
+        # is as good as any (mirrors Checkpoint::load exactly).
+        parsed = extract(tail, is_tail=True, lineno=len(lines) + 1)
+        if parsed is not None:
+            yield parsed
+
+
+def merge(paths, args, out, err):
+    stats = {"accepted": 0, "duplicate": 0, "foreign": 0, "malformed": 0,
+             "other": 0, "torn": 0}
+
+    def warn(message):
+        if not args.quiet:
+            print(f"warning: {message}", file=err)
+
+    # With an explicit selector, records from other sweeps filter silently;
+    # an auto-pinned identity (from the first record seen) makes them a
+    # hard error instead — mixing sweeps unasked is almost always a typo.
+    selecting = args.scenario is not None and args.master_seed is not None
+    wanted = (args.scenario, args.master_seed) if selecting else None
+
+    merged = {}
+    for path in paths:
+        for key, record, raw in parse_file(path, stats, warn):
+            identity = key[:2]
+            if wanted is None:
+                wanted = identity  # first record pins the sweep identity
+            if identity != wanted:
+                if selecting:
+                    stats["foreign"] += 1
+                    continue
+                print(
+                    f"error: {path}: record for {identity} but merging "
+                    f"{wanted}; pass --scenario/--master-seed to extract "
+                    "one sweep from mixed files",
+                    file=err,
+                )
+                return 1
+            slot = key[2:]
+            if slot in merged:
+                # Byte equality, not parsed-dict equality: the C++ writer
+                # is deterministic, so true duplicates are byte-identical,
+                # and bytes sidestep NaN != NaN poisoning the comparison.
+                if merged[slot][1] == raw:
+                    stats["duplicate"] += 1
+                    continue
+                print(
+                    f"error: conflicting records for cell_index {slot[0]} "
+                    f"replicate {slot[1]} — same key, different payload "
+                    "(corrupted or mismatched shard files?)",
+                    file=err,
+                )
+                return 1
+            merged[slot] = (record, raw)
+            stats["accepted"] += 1
+
+    missing = []
+    if args.expect_cells is not None and args.expect_replicates is not None:
+        # The merged file claims to be the (C, R) grid exactly: records
+        # OUTSIDE it (shards run with a different --replicates, say) are as
+        # much a validation failure as holes inside it.
+        stray = [
+            slot
+            for slot in sorted(merged)
+            if slot[0] >= args.expect_cells or slot[1] >= args.expect_replicates
+        ]
+        if stray:
+            shown = ", ".join(f"({c},{r})" for c, r in stray[:8])
+            more = "" if len(stray) <= 8 else f" and {len(stray) - 8} more"
+            print(
+                f"error: {len(stray)} record(s) outside the expected "
+                f"{args.expect_cells}x{args.expect_replicates} grid: "
+                f"{shown}{more}",
+                file=err,
+            )
+            return 1
+        for cell in range(args.expect_cells):
+            for rep in range(args.expect_replicates):
+                if (cell, rep) not in merged:
+                    missing.append((cell, rep))
+        if missing and not args.allow_missing:
+            shown = ", ".join(f"({c},{r})" for c, r in missing[:8])
+            more = "" if len(missing) <= 8 else f" and {len(missing) - 8} more"
+            print(
+                f"error: {len(missing)} replicate(s) missing: {shown}{more} "
+                "(--allow-missing to merge anyway)",
+                file=err,
+            )
+            return 1
+
+    payload = b"".join(raw + b"\n" for _, (rec, raw) in sorted(merged.items()))
+    if args.output == "-":
+        out.buffer.write(payload) if hasattr(out, "buffer") else out.write(
+            payload.decode()
+        )
+    else:
+        Path(args.output).write_bytes(payload)
+
+    if not args.quiet:
+        print(
+            f"merged {stats['accepted']} record(s) from {len(paths)} file(s)"
+            f" [duplicate={stats['duplicate']} foreign={stats['foreign']}"
+            f" malformed={stats['malformed']} torn={stats['torn']}"
+            f" missing={len(missing)}]",
+            file=err,
+        )
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="*", help="replicate JSONL files")
+    parser.add_argument("-o", "--output", default="-",
+                        help="merged output path (default: stdout)")
+    parser.add_argument("--scenario", help="extract only this scenario")
+    parser.add_argument("--master-seed", type=int,
+                        help="extract only this master seed")
+    parser.add_argument("--expect-cells", type=int,
+                        help="expected cell count for the completeness check")
+    parser.add_argument("--expect-replicates", type=int,
+                        help="expected replicates/cell for the completeness check")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="demote missing replicates to a count")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress warnings and the summary line")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in unit tests and exit")
+    return parser
+
+
+# --------------------------------------------------------------- self-test ---
+
+
+def _record(cell, rep, scenario="s", seed=1, value=1.0):
+    return (
+        json.dumps(
+            {
+                "record": "replicate",
+                "scenario": scenario,
+                "master_seed": seed,
+                "cell": "c",
+                "cell_index": cell,
+                "replicate": rep,
+                "seed": 100 + cell * 10 + rep,
+                "converged": True,
+                "final_error": value,
+                "sum_drift": 0.0,
+                "transmissions": 0,
+            }
+        ).encode()
+    )
+
+
+def _run(argv, files):
+    """Runs main() on temp files; returns (exit_code, merged_bytes, stderr)."""
+    import io
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for i, content in enumerate(files):
+            path = Path(tmp) / f"in{i}.jsonl"
+            path.write_bytes(content)
+            paths.append(str(path))
+        out_path = Path(tmp) / "out.jsonl"
+        err = io.StringIO()
+        args = build_parser().parse_args(
+            paths + ["-o", str(out_path), "--quiet"] + argv
+        )
+        code = merge(paths, args, sys.stdout, err)
+        merged = out_path.read_bytes() if out_path.exists() else b""
+        return code, merged, err.getvalue()
+
+
+def self_test():
+    failures = []
+
+    def check(name, condition):
+        if not condition:
+            failures.append(name)
+            print(f"FAIL {name}")
+        else:
+            print(f"ok   {name}")
+
+    # Disjoint shards merge, sorted by (cell_index, replicate).
+    shard0 = _record(0, 0) + b"\n" + _record(1, 1) + b"\n"
+    shard1 = _record(1, 0) + b"\n" + _record(0, 1) + b"\n"
+    code, merged, _ = _run([], [shard0, shard1])
+    keys = [
+        (json.loads(line)["cell_index"], json.loads(line)["replicate"])
+        for line in merged.splitlines()
+    ]
+    check("merge_sorted", code == 0 and keys == [(0, 0), (0, 1), (1, 0), (1, 1)])
+
+    # Identical duplicates collapse; conflicting payloads are an error.
+    dup = _record(0, 0) + b"\n"
+    code, merged, _ = _run([], [dup, dup])
+    check("duplicate_collapses", code == 0 and len(merged.splitlines()) == 1)
+    conflict = _record(0, 0, value=2.0) + b"\n"
+    code, _, err = _run([], [dup, conflict])
+    check("conflict_errors", code == 1 and "conflicting" in err)
+
+    # Torn tail tolerated; a tail missing only its newline is a complete
+    # record and is kept (same policy as Checkpoint::load); interior
+    # garbage skipped.
+    torn = _record(0, 0) + b"\n" + _record(0, 1)[:20]
+    code, merged, _ = _run([], [torn])
+    check("torn_tail", code == 0 and len(merged.splitlines()) == 1)
+    complete_tail = _record(0, 0) + b"\n" + _record(0, 1)
+    code, merged, _ = _run([], [complete_tail])
+    check("complete_tail_kept", code == 0 and len(merged.splitlines()) == 2)
+    garbage = _record(0, 0) + b"\n" + b"not json\n" + _record(0, 1) + b"\n"
+    code, merged, _ = _run([], [garbage])
+    check("interior_garbage", code == 0 and len(merged.splitlines()) == 2)
+
+    # Mixed sweeps error without a selector, filter with one.
+    mixed = _record(0, 0) + b"\n" + _record(0, 0, scenario="other") + b"\n"
+    code, _, err = _run([], [mixed])
+    check("mixed_sweeps_error", code == 1 and "mixed" in err)
+    code, merged, _ = _run(["--scenario", "s", "--master-seed", "1"], [mixed])
+    check("selector_filters", code == 0 and len(merged.splitlines()) == 1)
+
+    # Completeness check.
+    partial = _record(0, 0) + b"\n"
+    code, _, err = _run(
+        ["--expect-cells", "1", "--expect-replicates", "2"], [partial]
+    )
+    check("missing_errors", code == 1 and "missing" in err)
+    code, merged, _ = _run(
+        ["--expect-cells", "1", "--expect-replicates", "2", "--allow-missing"],
+        [partial],
+    )
+    check("allow_missing", code == 0 and len(merged.splitlines()) == 1)
+
+    # NaN payloads round-trip (python json speaks the same NaN/Infinity
+    # tokens the C++ sink emits), and byte-identical duplicates of a NaN
+    # record collapse instead of reading as a conflict.
+    nan_rec = _record(0, 0, value=float("nan")) + b"\n"
+    code, merged, _ = _run([], [nan_rec, nan_rec])
+    check("nan_duplicate_collapses",
+          code == 0 and len(merged.splitlines()) == 1)
+
+    # Records outside the expected grid fail validation like holes in it.
+    code, _, err = _run(
+        ["--expect-cells", "1", "--expect-replicates", "1"],
+        [_record(0, 0) + b"\n" + _record(0, 1) + b"\n"],
+    )
+    check("stray_records_error", code == 1 and "outside" in err)
+
+    # Empty file is a valid, empty merge.
+    code, merged, _ = _run([], [b""])
+    check("empty_file", code == 0 and merged == b"")
+
+    # Per-cell summary lines (no "record" discriminator) pass through
+    # silently without polluting the merge.
+    summary_line = b'{"scenario":"s","cell":"c","n":64}\n'
+    code, merged, _ = _run([], [summary_line + _record(0, 0) + b"\n"])
+    check("summary_lines_ignored", code == 0 and len(merged.splitlines()) == 1)
+
+    if failures:
+        print(f"{len(failures)} self-test failure(s)", file=sys.stderr)
+        return 1
+    print("all self-tests passed")
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not args.inputs:
+        print("error: no input files (or --self-test)", file=sys.stderr)
+        return 2
+    if (args.expect_cells is None) != (args.expect_replicates is None):
+        print(
+            "error: --expect-cells and --expect-replicates go together",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.scenario is None) != (args.master_seed is None):
+        print(
+            "error: --scenario and --master-seed go together",
+            file=sys.stderr,
+        )
+        return 2
+    return merge(args.inputs, args, sys.stdout, sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
