@@ -22,15 +22,15 @@
 //   deviation_norm_exact   full O(n) recomputation (contrast baseline)
 //   run_to_epsilon_*       end-to-end protocol construction + run to eps
 //
-// Every result row carries the process max-RSS high-water (getrusage) read
-// right after the kernel finished: monotone over the run, so each row
+// Every result row carries the process max-RSS high-water (obs::max_rss_kb)
+// read right after the kernel finished: monotone over the run, so each row
 // bounds the peak footprint of everything up to and including itself —
 // the XL rows (--xl) are ordered smallest-to-largest so their deltas are
 // attributable.  --filter=<substring> runs just the matching kernels
 // (setup for non-matching blocks is skipped too), which is how the XL
-// points are recorded one at a time.
-#include <sys/resource.h>
-
+// points are recorded one at a time.  --trace=FILE additionally records
+// one telemetry span per timed kernel (plus the library's own graph/
+// routing phase spans) and exports a Chrome/Perfetto trace.
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -47,6 +47,9 @@
 #include "gossip/geographic.hpp"
 #include "gossip/pairwise.hpp"
 #include "graph/geometric_graph.hpp"
+#include "obs/memory.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "routing/greedy.hpp"
 #include "sim/clock.hpp"
 #include "sim/engine.hpp"
@@ -73,12 +76,6 @@ double now_ms() {
   return std::chrono::duration<double, std::milli>(
              clock::now().time_since_epoch())
       .count();
-}
-
-std::uint64_t current_max_rss_kb() {
-  struct rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return static_cast<std::uint64_t>(usage.ru_maxrss);
 }
 
 /// Repeats `batch` (which runs a batch and returns its op count) until the
@@ -203,8 +200,15 @@ struct Harness {
   template <typename Batch>
   void run(const std::string& name, std::size_t n, Batch&& batch) {
     if (!selected(name)) return;
-    results.push_back(time_kernel(name, n, budget_ms, batch));
-    results.back().max_rss_kb = current_max_rss_kb();
+    {
+      // One span per timed kernel (the whole batch loop): with --trace the
+      // exported timeline shows each kernel's slice plus the library's own
+      // graph_build / routing_mirror phase spans nested inside it.
+      gg::obs::Span span(gg::obs::intern(name), "n",
+                         static_cast<std::int64_t>(n));
+      results.push_back(time_kernel(name, n, budget_ms, batch));
+    }
+    results.back().max_rss_kb = gg::obs::max_rss_kb();
   }
 };
 
@@ -233,6 +237,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool xl = false;
   std::string json_path;
+  std::string trace_path;
   Harness h;
 
   gg::ArgParser parser("kernels",
@@ -247,6 +252,9 @@ int main(int argc, char** argv) {
                       std::to_string(kXlEpsilon) +
                       "; expect minutes of wall clock and ~GBs of RSS)");
   parser.add_flag("json", &json_path, "write results as JSON to this path");
+  parser.add_flag("trace", &trace_path,
+                  "enable telemetry and write a Chrome/Perfetto trace of "
+                  "the kernel run to this path");
   parser.add_flag("budget-ms", &h.budget_ms,
                   "time budget per micro kernel in milliseconds");
   parser.add_flag("filter", &h.filter,
@@ -254,6 +262,7 @@ int main(int argc, char** argv) {
   const auto parse = parser.parse(argc, argv);
   if (parse != gg::ParseResult::kOk) return gg::parse_exit_code(parse);
   if (quick) h.budget_ms = std::min(h.budget_ms, 120.0);
+  if (!trace_path.empty()) gg::obs::set_enabled(true);
 
   const std::vector<std::size_t> micro_ns =
       quick ? std::vector<std::size_t>{256, 1024, 4096}
@@ -586,6 +595,11 @@ int main(int argc, char** argv) {
     }
     append_json(out, results, quick);
     std::cout << "wrote " << json_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    gg::obs::write_chrome_trace_file(trace_path, gg::obs::snapshot(),
+                                     "bench/kernels");
+    std::cout << "wrote " << trace_path << "\n";
   }
   return 0;
 }

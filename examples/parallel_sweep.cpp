@@ -41,7 +41,11 @@
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sink.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "support/cli.hpp"
+#include "support/logging.hpp"
 #include "support/string_util.hpp"
 
 namespace gg = geogossip;
@@ -90,22 +94,57 @@ bool same_file(const std::string& a, const std::string& b) {
   return ca == cb;
 }
 
+// Checkpoint anomalies go through the leveled logger, not bare stderr:
+// unattended sweeps read these from piped logs, where the timestamp and
+// severity prefix is what makes them correlatable with heartbeat files.
 void print_checkpoint_warnings(const gg::exp::CheckpointStats& stats) {
   if (stats.malformed > 0) {
-    std::cerr << "resume: skipped " << stats.malformed
-              << " malformed line(s) — those replicates will re-run\n";
+    gg::log_warn("resume: skipped ", stats.malformed,
+                 " malformed line(s) — those replicates will re-run");
   }
   if (stats.foreign > 0) {
-    std::cerr << "resume: ignored " << stats.foreign
-              << " record(s) from another (scenario, master_seed)\n";
+    gg::log_warn("resume: ignored ", stats.foreign,
+                 " record(s) from another (scenario, master_seed)");
   }
   if (stats.duplicate > 0) {
-    std::cerr << "resume: collapsed " << stats.duplicate
-              << " duplicate record(s)\n";
+    gg::log_warn("resume: collapsed ", stats.duplicate,
+                 " duplicate record(s)");
   }
   if (stats.torn_tail) {
-    std::cerr << "resume: tolerated a torn final line (killed writer)\n";
+    gg::log_warn("resume: tolerated a torn final line (killed writer)");
   }
+}
+
+/// Parses "--heartbeat=FILE,SECS" (",SECS" optional; split on the LAST
+/// comma so paths containing commas still work when an interval follows).
+bool parse_heartbeat_spec(const std::string& spec, std::string* path,
+                          double* interval_seconds) {
+  *path = spec;
+  *interval_seconds = 5.0;
+  const std::size_t comma = spec.rfind(',');
+  if (comma != std::string::npos) {
+    try {
+      const double secs = gg::parse_double(spec.substr(comma + 1));
+      if (secs > 0.0) {
+        *path = spec.substr(0, comma);
+        *interval_seconds = secs;
+      }
+      // Non-positive interval: treat the whole spec as a path — but a
+      // parsed-yet-bogus interval is more likely a typo, reject it.
+      if (secs <= 0.0) {
+        std::cerr << "--heartbeat=" << spec
+                  << ": interval must be positive seconds\n";
+        return false;
+      }
+    } catch (const gg::ArgumentError&) {
+      // No numeric suffix: the comma belongs to the path.
+    }
+  }
+  if (path->empty()) {
+    std::cerr << "--heartbeat needs a file path\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -124,6 +163,9 @@ int main(int argc, char** argv) {
   bool list = false;
   bool list_names = false;
   bool compare = false;
+  std::string trace_path;
+  std::string heartbeat_spec;
+  std::string log_level = "warn";
 
   gg::ArgParser parser("parallel_sweep",
                        "run a registered scenario on the parallel harness");
@@ -161,8 +203,26 @@ int main(int argc, char** argv) {
                   "print bare scenario names (one per line) and exit");
   parser.add_flag("compare", &compare,
                   "re-run with 1 thread and check bit-identical aggregates");
+  parser.add_flag("trace", &trace_path,
+                  "enable telemetry and write a Chrome/Perfetto trace "
+                  "(chrome://tracing or ui.perfetto.dev) of the sweep to "
+                  "this file ({shard}-suffixed like the other outputs)");
+  parser.add_flag("heartbeat", &heartbeat_spec,
+                  "write a heartbeat JSONL file for unattended runs: "
+                  "FILE[,SECS] (default every 5s; torn-write safe via "
+                  "rename, so every line always parses)");
+  parser.add_flag("log-level", &log_level,
+                  "diagnostic verbosity: debug|info|warn|error|off "
+                  "(default warn)");
   const auto parsed = parser.parse(argc, argv);
   if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+
+  try {
+    gg::LogConfig::set_level(gg::parse_log_level(log_level));
+  } catch (const gg::ArgumentError& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
 
   gg::exp::register_builtin_scenarios();
   auto& registry = gg::exp::ScenarioRegistry::instance();
@@ -220,6 +280,10 @@ int main(int argc, char** argv) {
   if (!json_replicates_path.empty()) {
     json_replicates_path =
         gg::exp::shard_path(json_replicates_path, shard_index, shard_count);
+  }
+  if (!trace_path.empty()) {
+    trace_path = gg::exp::shard_path(trace_path, shard_index, shard_count);
+    gg::obs::set_enabled(true);
   }
 
   std::cout << "scenario " << scenario.name << ": "
@@ -286,9 +350,53 @@ int main(int argc, char** argv) {
                                       cell, cell_index, replicate, result);
     };
   }
+  std::unique_ptr<gg::obs::Heartbeat> heartbeat;
+  if (!heartbeat_spec.empty()) {
+    std::string heartbeat_path;
+    double interval_seconds = 5.0;
+    if (!parse_heartbeat_spec(heartbeat_spec, &heartbeat_path,
+                              &interval_seconds)) {
+      return 1;
+    }
+    gg::obs::Heartbeat::Options hb;
+    hb.path = gg::exp::shard_path(heartbeat_path, shard_index, shard_count);
+    hb.interval_seconds = interval_seconds;
+    hb.scenario = scenario.name;
+    hb.shard_index = shard_index;
+    hb.shard_count = shard_count;
+    // Total = the tasks THIS process owns under the round-robin shard
+    // partition, so completed == total signals a finished shard.
+    const std::uint64_t task_count =
+        static_cast<std::uint64_t>(scenario.cells.size()) *
+        scenario.replicates;
+    hb.total_replicates =
+        task_count / shard_count +
+        (task_count % shard_count > shard_index ? 1 : 0);
+    heartbeat = std::make_unique<gg::obs::Heartbeat>(std::move(hb));
+    options.heartbeat = heartbeat.get();
+  }
+
   const gg::exp::Runner runner(options);
   const auto parallel = runner.run(scenario);
+  if (heartbeat != nullptr) heartbeat->stop();
   gg::exp::print_summary(std::cout, parallel);
+
+  if (options.memory_budget_bytes > 0 && parallel.peak_rss_kb > 0 &&
+      parallel.peak_rss_kb * 1024 > options.memory_budget_bytes) {
+    gg::log_warn("peak RSS ", parallel.peak_rss_kb,
+                 " KiB exceeded --mem-budget (",
+                 options.memory_budget_bytes / (1024 * 1024), " MiB) — "
+                 "the scenario's mem hints underestimate its footprint");
+  }
+
+  // Export BEFORE any --compare re-run records more events; the trace
+  // describes the primary (parallel) sweep.
+  if (!trace_path.empty()) {
+    gg::obs::write_chrome_trace_file(
+        trace_path, gg::obs::snapshot(),
+        "parallel_sweep " + scenario.name);
+    std::cout << "trace: " << trace_path << "\n";
+  }
 
   gg::exp::write_sinks(parallel, csv_path, json_path);
 

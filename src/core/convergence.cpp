@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "gossip/pairwise.hpp"
+#include "obs/telemetry.hpp"
 #include "gossip/path_averaging.hpp"
 #include "sim/engine.hpp"
 #include "sim/field.hpp"
@@ -89,12 +90,10 @@ double sum_of(std::span<const double> values) {
   return total;
 }
 
-}  // namespace
-
-TrialOutcome run_protocol_trial(ProtocolKind kind,
-                                const graph::GeometricGraph& graph,
-                                const std::vector<double>& x0, Rng& rng,
-                                const TrialOptions& options) {
+TrialOutcome run_protocol_trial_impl(ProtocolKind kind,
+                                     const graph::GeometricGraph& graph,
+                                     const std::vector<double>& x0, Rng& rng,
+                                     const TrialOptions& options) {
   GG_CHECK_ARG(x0.size() == graph.node_count(),
                "x0 size must match the graph");
   const double sum_before = sum_of(x0);
@@ -154,6 +153,41 @@ TrialOutcome run_protocol_trial(ProtocolKind kind,
     }
   }
   throw ArgumentError("run_protocol_trial: bad kind");
+}
+
+/// Trial-end counter flush: one add per category per trial, never inside
+/// the tick loop, so the numbers roll up per sweep at no per-tick cost.
+void report_trial(const TrialOutcome& outcome) {
+  if (!obs::enabled()) return;
+  static const auto c_trials = obs::counter("trial.count");
+  static const auto c_converged = obs::counter("trial.converged");
+  static const auto c_local = obs::counter("tx.local");
+  static const auto c_long = obs::counter("tx.long_range");
+  static const auto c_control = obs::counter("tx.control");
+  static const auto c_far = obs::counter("protocol.far_exchanges");
+  static const auto c_near = obs::counter("protocol.near_exchanges");
+  obs::add(c_trials);
+  if (outcome.converged) obs::add(c_converged);
+  obs::add(c_local, outcome.transmissions[sim::TxCategory::kLocal]);
+  obs::add(c_long, outcome.transmissions[sim::TxCategory::kLongRange]);
+  obs::add(c_control, outcome.transmissions[sim::TxCategory::kControl]);
+  obs::add(c_far, outcome.far_exchanges);
+  obs::add(c_near, outcome.near_exchanges);
+}
+
+}  // namespace
+
+TrialOutcome run_protocol_trial(ProtocolKind kind,
+                                const graph::GeometricGraph& graph,
+                                const std::vector<double>& x0, Rng& rng,
+                                const TrialOptions& options) {
+  obs::Span span("protocol_run", "n",
+                 static_cast<std::int64_t>(graph.node_count()), "kind",
+                 static_cast<std::int64_t>(kind));
+  const TrialOutcome outcome =
+      run_protocol_trial_impl(kind, graph, x0, rng, options);
+  report_trial(outcome);
+  return outcome;
 }
 
 SweepPoint sweep_point(ProtocolKind kind, std::size_t n,

@@ -1,7 +1,9 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cmath>
 #include <condition_variable>
 #include <mutex>
@@ -10,6 +12,9 @@
 
 #include "exp/thread_pool.hpp"
 #include "graph/geometric_graph.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/memory.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/field.hpp"
 #include "stats/summary.hpp"
 #include "support/check.hpp"
@@ -162,6 +167,23 @@ SweepSummary Runner::run(const Scenario& scenario) const {
     }
     pending.push_back(task);
   }
+  if (resumed > 0) {
+    static const auto c_reingested = obs::counter("runner.resume_reingested");
+    obs::add(c_reingested, resumed);
+    if (options_.heartbeat != nullptr) {
+      options_.heartbeat->add_completed(resumed);
+    }
+  }
+
+  obs::Span sweep_span("sweep", "cells",
+                       static_cast<std::int64_t>(cell_count), "replicates",
+                       static_cast<std::int64_t>(replicates));
+  // Per-task [start, end) times feed the synthetic per-cell envelope spans
+  // below; sized only when telemetry is live so the dark path allocates
+  // nothing.
+  std::vector<std::array<std::uint64_t, 2>> task_times;
+  const bool trace_tasks = obs::enabled();
+  if (trace_tasks) task_times.resize(pending.size());
 
   ThreadPool pool(options_.threads);
   MemoryGate gate(options_.memory_budget_bytes);
@@ -175,10 +197,24 @@ SweepSummary Runner::run(const Scenario& scenario) const {
     const std::size_t stream = cell.seed_stream == kAutoSeedStream
                                    ? cell_index
                                    : cell.seed_stream;
+    if (options_.heartbeat != nullptr) {
+      options_.heartbeat->note_start(static_cast<std::int64_t>(cell_index),
+                                     replicate);
+    }
     gate.acquire(cell.mem_hint_bytes);
     try {
-      results[task] = run_replicate(
-          cell, replicate_seed(scenario.master_seed, stream, replicate));
+      // Envelope timestamps bracket the replicate Span's lifetime (not
+      // the reverse), so the derived per-cell envelope always encloses
+      // its replicates' spans in the exported trace.
+      if (trace_tasks) task_times[index][0] = obs::now_ns();
+      {
+        obs::Span span("replicate", "cell",
+                       static_cast<std::int64_t>(cell_index), "replicate",
+                       replicate);
+        results[task] = run_replicate(
+            cell, replicate_seed(scenario.master_seed, stream, replicate));
+      }
+      if (trace_tasks) task_times[index][1] = obs::now_ns();
     } catch (...) {
       gate.release(cell.mem_hint_bytes);
       throw;
@@ -193,9 +229,31 @@ SweepSummary Runner::run(const Scenario& scenario) const {
       options_.progress(cell, cell_index, replicate, results[task]);
     }
     have[task] = 1;
+    if (options_.heartbeat != nullptr) options_.heartbeat->note_done();
   });
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
+
+  // Envelope spans: one per cell on the synthetic lane, spanning the
+  // min..max recorded times of its executed replicates.  Work-stealing
+  // interleaves cells across workers, so real RAII spans cannot express
+  // "the cell" — the envelope is derived after the pool drains instead.
+  if (trace_tasks) {
+    for (std::size_t c = 0; c < cell_count; ++c) {
+      std::uint64_t lo = UINT64_MAX;
+      std::uint64_t hi = 0;
+      for (std::size_t index = 0; index < pending.size(); ++index) {
+        if (pending[index] / replicates != c) continue;
+        if (task_times[index][1] == 0) continue;  // task threw / never ran
+        lo = std::min(lo, task_times[index][0]);
+        hi = std::max(hi, task_times[index][1]);
+      }
+      if (hi == 0) continue;  // no executed replicates for this cell
+      obs::record_span_on("cell", lo, hi, "cell",
+                          static_cast<std::int64_t>(c), "n",
+                          static_cast<std::int64_t>(scenario.cells[c].n));
+    }
+  }
 
   SweepSummary summary;
   summary.scenario = scenario.name;
@@ -207,8 +265,11 @@ SweepSummary Runner::run(const Scenario& scenario) const {
   summary.shard_count = options_.shard_count;
   summary.resumed_replicates = resumed;
   summary.executed_replicates = pending.size();
+  summary.peak_rss_kb = obs::max_rss_kb();
   summary.cells.reserve(cell_count);
 
+  obs::Span aggregate_span("aggregate", "cells",
+                           static_cast<std::int64_t>(cell_count));
   // Aggregation runs sequentially in (cell, replicate) index order, so the
   // numbers below cannot depend on how the pool interleaved the tasks —
   // and, because re-ingested results occupy the same index slots they
@@ -404,6 +465,9 @@ void print_summary(std::ostream& out, const SweepSummary& summary) {
   if (summary.resumed_replicates > 0) {
     out << " resumed=" << summary.resumed_replicates
         << " executed=" << summary.executed_replicates;
+  }
+  if (summary.peak_rss_kb > 0) {
+    out << " peak_rss_kb=" << summary.peak_rss_kb;
   }
   out << "\n";
 }

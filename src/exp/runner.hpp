@@ -24,6 +24,10 @@
 #include "exp/scenario.hpp"
 #include "sim/metrics.hpp"
 
+namespace geogossip::obs {
+class Heartbeat;
+}  // namespace geogossip::obs
+
 namespace geogossip::exp {
 
 // ReplicateResult lives in scenario.hpp (cells carry TrialFn, which
@@ -84,6 +88,10 @@ struct SweepSummary {
   std::uint64_t resumed_replicates = 0;
   /// Replicates actually executed by this process.
   std::uint64_t executed_replicates = 0;
+  /// Process RSS high-water (KiB) sampled after the pool drained; 0 when
+  /// the platform cannot report it.  Console-only diagnostic — never
+  /// written to CSV/JSON sinks, which must stay bit-identical run-to-run.
+  std::uint64_t peak_rss_kb = 0;
   std::vector<CellSummary> cells;
 };
 
@@ -128,6 +136,11 @@ struct RunnerOptions {
   std::function<void(const Cell& cell, std::size_t cell_index,
                      std::uint32_t replicate, const ReplicateResult& result)>
       progress;
+  /// Optional liveness reporter (not owned; must outlive run()).  The
+  /// runner notes each replicate's start and completion and bulk-credits
+  /// re-ingested checkpoint records, so heartbeat files show real
+  /// progress, not just process liveness.
+  obs::Heartbeat* heartbeat = nullptr;
 };
 
 class Runner {

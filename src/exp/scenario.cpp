@@ -218,6 +218,10 @@ Scenario e11_quick() {
 void register_builtin_scenarios() {
   auto& registry = ScenarioRegistry::instance();
   registry.add("e5-quick", e5_quick);
+  // Long-form alias: sweep drivers and CI jobs name the quick scaling
+  // sweep both ways.  The built Scenario keeps the name "e5-quick", so
+  // checkpoints written under either spelling resume interchangeably.
+  registry.add("e5-scaling-quick", e5_quick);
   registry.add("e5-scaling-xl", e5_scaling_xl);
   registry.add("e10-ablation-quick", e10_quick);
   registry.add("e11-decentralized-quick", e11_quick);

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 
 namespace geogossip::exp {
@@ -197,6 +198,9 @@ void JsonLinesSink::write_replicate(const std::string& scenario,
                                     const Cell& cell, std::size_t cell_index,
                                     std::uint32_t replicate,
                                     const ReplicateResult& result) {
+  obs::Span span("checkpoint_write", "cell",
+                 static_cast<std::int64_t>(cell_index), "replicate",
+                 replicate);
   std::ostream& out = *out_;
   out << "{\"record\":\"replicate\""
       << ",\"scenario\":\"" << json_escape(scenario) << "\""

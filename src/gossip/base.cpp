@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 
 namespace geogossip::gossip {
@@ -49,6 +50,8 @@ void ValueProtocol::note_updates(std::uint64_t count) {
     tracker_.reset(x_);
     updates_since_refresh_ = 0;
     ++refreshes_;
+    static const auto c_refresh = obs::counter("protocol.tracker_refreshes");
+    obs::add(c_refresh);
   }
 }
 

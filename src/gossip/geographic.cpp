@@ -4,10 +4,30 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/telemetry.hpp"
 #include "routing/greedy.hpp"
 #include "support/check.hpp"
 
 namespace geogossip::gossip {
+
+namespace {
+
+/// One bump per protocol-level outcome; the member tallies stay the
+/// protocol's own metrics, these feed the sweep-wide telemetry totals.
+void count_rejection() {
+  static const auto c = obs::counter("gossip.acceptance_rejections");
+  obs::add(c);
+}
+void count_failed_route() {
+  static const auto c = obs::counter("gossip.failed_routes");
+  obs::add(c);
+}
+void count_exchange() {
+  static const auto c = obs::counter("gossip.exchanges");
+  obs::add(c);
+}
+
+}  // namespace
 
 using geometry::Vec2;
 using geometry::distance_sq;
@@ -170,12 +190,14 @@ NodeId GeographicGossip::sample_target(NodeId source) {
     meter_.add(sim::TxCategory::kLongRange, route.hops);
     if (!route.arrived()) {
       ++failed_routes_;
+      count_failed_route();
       continue;
     }
     const NodeId candidate = route.final_node;
     // Self-targets carry no information; treat like a rejection.
     if (candidate == source) {
       ++rejections_;
+      count_rejection();
       continue;
     }
     if (!options_.rejection_sampling ||
@@ -183,6 +205,7 @@ NodeId GeographicGossip::sample_target(NodeId source) {
       return candidate;
     }
     ++rejections_;
+    count_rejection();
   }
   return source;  // exhausted the rejection budget; caller skips the round
 }
@@ -197,11 +220,13 @@ void GeographicGossip::on_tick(const sim::Tick& tick) {
   meter_.add(sim::TxCategory::kLongRange, back.hops);
   if (!back.arrived() || back.final_node != source) {
     ++failed_routes_;
+    count_failed_route();
     return;  // atomic commit: no state change on a failed round trip
   }
 
   apply_pair_average(source, target);
   ++exchanges_;
+  count_exchange();
 }
 
 }  // namespace geogossip::gossip

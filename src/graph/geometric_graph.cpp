@@ -8,6 +8,7 @@
 
 #include "geometry/sampling.hpp"
 #include "graph/radius.hpp"
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 #include "support/string_util.hpp"
 
@@ -24,6 +25,8 @@ GeometricGraph::GeometricGraph(std::vector<geometry::Vec2> points, double r,
   GG_CHECK_ARG(!points_.empty(), "GeometricGraph: no points");
   GG_CHECK_ARG(r > 0.0, "GeometricGraph: radius must be positive");
   CsrGraph::check_node_count(points_.size());
+  obs::Span span("graph_build", "n",
+                 static_cast<std::int64_t>(points_.size()));
   index_ = std::make_unique<geometry::BucketGrid>(points_, region_, r_);
 
   // Two-pass CSR build straight from the bucket grid.  No edge-list
@@ -73,6 +76,8 @@ void GeometricGraph::ensure_routing_mirror() const {
 }
 
 void GeometricGraph::build_routing_mirror() const {
+  obs::Span span("routing_mirror", "n",
+                 static_cast<std::int64_t>(points_.size()));
   // Routing-ordered mirror of the CSR: neighbours grouped into annuli by
   // distance from the node, farthest annulus first, each entry carrying
   // its annulus's (conservative, rounded-up) outer radius.  The greedy

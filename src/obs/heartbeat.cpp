@@ -1,0 +1,159 @@
+#include "obs/heartbeat.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "obs/memory.hpp"
+#include "support/check.hpp"
+#include "support/logging.hpp"
+
+namespace geogossip::obs {
+
+namespace {
+
+/// Heartbeat lines carry one free-form string (the scenario name); keep
+/// the escaping local rather than dragging in the sink's JSON helpers.
+std::string json_escape_min(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::int64_t unix_millis_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Heartbeat::Heartbeat(Options options) : options_(std::move(options)) {
+  GG_CHECK_ARG(!options_.path.empty(), "Heartbeat: path must not be empty");
+  GG_CHECK_ARG(options_.interval_seconds > 0.0,
+               "Heartbeat: interval_seconds must be positive");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    beat_locked();
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+Heartbeat::~Heartbeat() { stop(); }
+
+void Heartbeat::note_start(std::int64_t cell_index, std::int64_t replicate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_cell_ = cell_index;
+  current_replicate_ = replicate;
+}
+
+void Heartbeat::note_done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+}
+
+void Heartbeat::add_completed(std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_ += count;
+}
+
+void Heartbeat::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  beat_locked();  // final beat carries the end-state counts
+  stopped_ = true;
+}
+
+std::uint64_t Heartbeat::beats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void Heartbeat::loop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(options_.interval_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    beat_locked();
+  }
+}
+
+void Heartbeat::beat_locked() {
+  std::string line = "{\"record\":\"heartbeat\",\"scenario\":\"";
+  line += json_escape_min(options_.scenario);
+  line += "\",\"shard_index\":";
+  line += std::to_string(options_.shard_index);
+  line += ",\"shard_count\":";
+  line += std::to_string(options_.shard_count);
+  line += ",\"completed\":";
+  line += std::to_string(completed_);
+  line += ",\"total\":";
+  line += std::to_string(options_.total_replicates);
+  line += ",\"cell\":";
+  line += std::to_string(current_cell_);
+  line += ",\"replicate\":";
+  line += std::to_string(current_replicate_);
+  line += ",\"rss_kb\":";
+  line += std::to_string(max_rss_kb());
+  line += ",\"flush_unix_ms\":";
+  line += std::to_string(unix_millis_now());
+  line += ",\"seq\":";
+  line += std::to_string(seq_);
+  line += "}\n";
+  lines_ += line;
+  ++seq_;
+
+  // Write the whole image to a sibling temp file and rename it over the
+  // target: readers either see the previous complete file or the new
+  // one, never a prefix of a line.
+  const std::string tmp = options_.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      log_warn("heartbeat: cannot open " + tmp);
+      return;
+    }
+    out << lines_;
+    out.flush();
+    if (!out.good()) {
+      log_warn("heartbeat: write failed for " + tmp);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, options_.path, ec);
+  if (ec) {
+    log_warn("heartbeat: rename to " + options_.path +
+                      " failed: " + ec.message());
+  }
+}
+
+}  // namespace geogossip::obs

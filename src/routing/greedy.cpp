@@ -3,6 +3,7 @@
 #include <cmath>
 #include <span>
 
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 
 namespace geogossip::routing {
@@ -34,7 +35,8 @@ namespace {
 /// holds the winner's squared distance.
 inline NodeId greedy_step(const GeometricGraph& g,
                           std::span<const Vec2> positions, NodeId current,
-                          Vec2 target, double& here_sq_io) noexcept {
+                          Vec2 target, double& here_sq_io,
+                          std::uint64_t& pruned_io) noexcept {
   // Scans the routing-ordered adjacency (farthest annulus first).  Two
   // structural optimizations, both exact:
   //  * Triangle-inequality pruning: dist(u, target) >= here - |u - c|,
@@ -91,7 +93,25 @@ inline NodeId greedy_step(const GeometricGraph& g,
     }
   }
   here_sq_io = merged_sq;
+  pruned_io += count - j;  // entries the annulus bound ruled out unscanned
   return merged;
+}
+
+/// Telemetry tap at route granularity: one counter bump per finished
+/// route, not per hop, so routing telemetry costs nothing on the per-hop
+/// path and a handful of adds per route when enabled.
+void report_route(const RouteResult& result, std::uint64_t pruned) {
+  if (!obs::enabled()) return;
+  static const auto c_routes = obs::counter("routing.routes");
+  static const auto c_hops = obs::counter("routing.hops");
+  static const auto c_pruned = obs::counter("routing.pruned_candidates");
+  static const auto c_dead = obs::counter("routing.dead_ends");
+  static const auto c_budget = obs::counter("routing.hop_budget_exceeded");
+  obs::add(c_routes);
+  obs::add(c_hops, result.hops);
+  obs::add(c_pruned, pruned);
+  if (result.status == RouteStatus::kDeadEnd) obs::add(c_dead);
+  if (result.status == RouteStatus::kHopBudget) obs::add(c_budget);
 }
 
 /// Pre-sizes a caller-supplied trace for the whole route up front; one
@@ -124,16 +144,20 @@ RouteResult route_to_node(const GeometricGraph& g, NodeId source,
 
   NodeId current = source;
   double cur_sq = distance_sq(positions[current], target);
+  std::uint64_t pruned = 0;
   while (current != destination) {
     if (result.hops >= budget) {
       result.status = RouteStatus::kHopBudget;
       result.final_node = current;
+      report_route(result, pruned);
       return result;
     }
-    const NodeId next = greedy_step(g, positions, current, target, cur_sq);
+    const NodeId next =
+        greedy_step(g, positions, current, target, cur_sq, pruned);
     if (next == current) {
       result.status = RouteStatus::kDeadEnd;
       result.final_node = current;
+      report_route(result, pruned);
       return result;
     }
     current = next;
@@ -142,6 +166,7 @@ RouteResult route_to_node(const GeometricGraph& g, NodeId source,
   }
   result.status = RouteStatus::kArrived;
   result.final_node = current;
+  report_route(result, pruned);
   return result;
 }
 
@@ -159,18 +184,22 @@ RouteResult route_to_position(const GeometricGraph& g, NodeId source,
 
   NodeId current = source;
   double cur_sq = distance_sq(positions[current], target);
+  std::uint64_t pruned = 0;
   while (true) {
-    const NodeId next = greedy_step(g, positions, current, target, cur_sq);
+    const NodeId next =
+        greedy_step(g, positions, current, target, cur_sq, pruned);
     if (next == current) {
       // Local minimum w.r.t. the target position: this IS the destination
       // for position-targeted routing.
       result.status = RouteStatus::kArrived;
       result.final_node = current;
+      report_route(result, pruned);
       return result;
     }
     if (result.hops >= budget) {
       result.status = RouteStatus::kHopBudget;
       result.final_node = current;
+      report_route(result, pruned);
       return result;
     }
     current = next;

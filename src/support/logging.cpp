@@ -1,13 +1,42 @@
 #include "support/logging.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
+
+#include "support/check.hpp"
 
 namespace geogossip {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::ostream* g_sink = &std::cerr;
+std::mutex g_emit_mutex;
+
+/// "[2026-08-08T12:34:56.789Z] " — UTC with milliseconds.  gcc 12's
+/// libstdc++ has no std::format, so this is gmtime_r + snprintf.
+std::string timestamp_prefix() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  // Sized for the worst case gcc's -Wformat-truncation computes (every
+  // %d at full int width), not the 26 bytes a sane tm ever produces.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%04d-%02d-%02dT%02d:%02d:%02d.%03dZ] ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ms));
+  return buf;
+}
 
 }  // namespace
 
@@ -27,15 +56,36 @@ std::string_view log_level_name(LogLevel level) noexcept {
   return "?";
 }
 
-LogLevel LogConfig::level() noexcept { return g_level; }
-void LogConfig::set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel parse_log_level(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  throw ArgumentError("unknown log level '" + text +
+                      "' (expected debug|info|warn|error|off)");
+}
+
+LogLevel LogConfig::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void LogConfig::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 std::ostream& LogConfig::sink() noexcept { return *g_sink; }
 void LogConfig::set_sink(std::ostream& sink) noexcept { g_sink = &sink; }
 
 namespace detail {
 
 void emit_log(LogLevel level, const std::string& message) {
-  LogConfig::sink() << '[' << log_level_name(level) << "] " << message << '\n';
+  std::string line = timestamp_prefix();
+  line += '[';
+  line += log_level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  LogConfig::sink() << line;
 }
 
 }  // namespace detail

@@ -2,7 +2,10 @@
 //
 // Experiments and examples log at Info; inner loops never log.  The logger is
 // deliberately tiny: a process-wide level, an ostream sink (default stderr),
-// and variadic helpers that stringify via operator<<.
+// and variadic helpers that stringify via operator<<.  Each emitted line is
+// prefixed with a UTC timestamp and the severity, e.g.
+//   [2026-08-08T12:34:56.789Z] [WARN] checkpoint: 2 torn tail(s) dropped
+// so unattended-sweep logs can be correlated with heartbeat/trace output.
 #ifndef GEOGOSSIP_SUPPORT_LOGGING_HPP
 #define GEOGOSSIP_SUPPORT_LOGGING_HPP
 
@@ -18,8 +21,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Returns the human-readable name of a level ("DEBUG", "INFO", ...).
 std::string_view log_level_name(LogLevel level) noexcept;
 
-/// Process-wide log configuration.  Not thread-safe by design: the library's
-/// simulations are single-threaded, and configuration happens in main().
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive,
+/// the spelling used by parallel_sweep --log-level).  Throws ArgumentError
+/// on anything else.
+LogLevel parse_log_level(const std::string& text);
+
+/// Process-wide log configuration.  The level is an atomic, so worker
+/// threads may log while main() adjusts verbosity; set_sink() itself must
+/// still happen before threads start (the pointer swap is not fenced
+/// against in-flight writes).  Lines are composed fully and emitted under
+/// a lock, so concurrent log calls never interleave characters.
 class LogConfig {
  public:
   static LogLevel level() noexcept;
