@@ -16,9 +16,8 @@
 
 #include "core/convergence.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
+#include "exp/sweep_cli.hpp"
 #include "gossip/spanning_tree.hpp"
-#include "support/cli.hpp"
 #include "support/string_util.hpp"
 
 namespace gg = geogossip;
@@ -28,30 +27,22 @@ int main(int argc, char** argv) {
   std::int64_t n = 4096;
   std::int64_t seeds = 3;
   std::int64_t master_seed = 9;
-  std::int64_t threads = 0;
   double eps = 1e-3;
   double radius_multiplier = 1.2;
   std::string separations = "0.05,0.25,1,4,8";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser(
+  gg::exp::SweepCli cli(
       "fig_e11_decentralized",
       "E11: decentralized affine gossip (the paper's §8 open problem)");
-  parser.add_flag("n", &n, "deployment size");
-  parser.add_flag("seeds", &seeds, "replicates per configuration");
-  parser.add_flag("seed", &master_seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("eps", &eps, "accuracy target");
-  parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
-  parser.add_flag("separations", &separations,
-                  "comma-separated rate-separation factors");
-  parser.add_flag("csv", &csv_path, "also write results to this CSV file");
-  parser.add_flag("json", &json_path,
-                  "also write results to this JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  cli.parser().add_flag("n", &n, "deployment size");
+  cli.parser().add_flag("seeds", &seeds, "replicates per configuration");
+  cli.parser().add_flag("seed", &master_seed, "master seed");
+  cli.parser().add_flag("eps", &eps, "accuracy target");
+  cli.parser().add_flag("radius-mult", &radius_multiplier,
+                        "radius multiplier");
+  cli.parser().add_flag("separations", &separations,
+                        "comma-separated rate-separation factors");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   const auto nn = static_cast<std::size_t>(n);
   std::cout << "=== E11: decentralized affine gossip at n="
@@ -90,13 +81,7 @@ int main(int argc, char** argv) {
     cell.options.eps = eps;
   }
 
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const gg::exp::Runner runner(runner_options);
-  const auto summary = runner.run(scenario);
-
-  gg::exp::print_summary(std::cout, summary);
-  gg::exp::write_sinks(summary, csv_path, json_path);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
 
   std::cout << "\ncentralized spanning-tree floor: "
             << gg::format_count(gg::gossip::spanning_tree_floor(nn))

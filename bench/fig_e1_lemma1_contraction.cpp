@@ -13,9 +13,8 @@
 #include "core/complete_graph_model.hpp"
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
+#include "exp/sweep_cli.hpp"
 #include "stats/regression.hpp"
-#include "support/cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -25,23 +24,15 @@ using gg::core::AlphaMode;
 int main(int argc, char** argv) {
   std::int64_t trials = 96;
   std::int64_t seed = 11;
-  std::int64_t threads = 0;
   std::string sizes = "32,128,512";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("fig_e1_lemma1_contraction",
-                       "E1: Lemma 1 contraction on the complete graph");
-  parser.add_flag("trials", &trials, "independent runs per configuration");
-  parser.add_flag("seed", &seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
-  parser.add_flag("json", &json_path,
-                  "also write per-cell results to a JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("fig_e1_lemma1_contraction",
+                        "E1: Lemma 1 contraction on the complete graph");
+  cli.parser().add_flag("trials", &trials,
+                        "independent runs per configuration");
+  cli.parser().add_flag("seed", &seed, "master seed");
+  cli.parser().add_flag("sizes", &sizes, "comma-separated n values");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   std::vector<std::size_t> ns;
   for (const auto& size_text : gg::split(sizes, ',')) {
@@ -53,9 +44,8 @@ int main(int argc, char** argv) {
   const auto scenario = gg::exp::make_e1_contraction(
       ns, static_cast<std::uint32_t>(trials),
       static_cast<std::uint64_t>(seed));
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const auto summary = gg::exp::Runner(runner_options).run(scenario);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   // Re-group the flat cell list into (n, mode) trajectories.
   for (const std::size_t n : ns) {
@@ -99,8 +89,6 @@ int main(int argc, char** argv) {
       std::cout << '\n';
     }
   }
-
-  gg::exp::write_sinks(summary, csv_path, json_path);
 
   // Chart for the first size, paper mode vs bound — straight off the
   // aggregated horizon cells.

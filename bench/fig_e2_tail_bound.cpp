@@ -13,9 +13,8 @@
 
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
+#include "exp/sweep_cli.hpp"
 #include "stats/confidence.hpp"
-#include "support/cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -25,24 +24,16 @@ int main(int argc, char** argv) {
   std::int64_t n = 256;
   std::int64_t trials = 600;
   std::int64_t seed = 21;
-  std::int64_t threads = 0;
   std::string epsilons = "0.5,0.3,0.1";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("fig_e2_tail_bound",
-                       "E2: Corollary 1 tail probability vs Markov bound");
-  parser.add_flag("n", &n, "complete-graph size");
-  parser.add_flag("trials", &trials, "independent runs per t");
-  parser.add_flag("seed", &seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("epsilons", &epsilons, "comma-separated eps thresholds");
-  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
-  parser.add_flag("json", &json_path,
-                  "also write per-cell results to a JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("fig_e2_tail_bound",
+                        "E2: Corollary 1 tail probability vs Markov bound");
+  cli.parser().add_flag("n", &n, "complete-graph size");
+  cli.parser().add_flag("trials", &trials, "independent runs per t");
+  cli.parser().add_flag("seed", &seed, "master seed");
+  cli.parser().add_flag("epsilons", &epsilons,
+                        "comma-separated eps thresholds");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   const auto nn = static_cast<std::size_t>(n);
   std::vector<double> eps_values;
@@ -56,9 +47,8 @@ int main(int argc, char** argv) {
   const auto scenario = gg::exp::make_e2_tail(
       nn, eps_values, static_cast<std::uint32_t>(trials),
       static_cast<std::uint64_t>(seed));
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const auto summary = gg::exp::Runner(runner_options).run(scenario);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   gg::ConsoleTable table(
       {"t", "eps", "empirical tail", "95% hi", "Markov bound", "ok"});
@@ -82,7 +72,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n'ok' = the 95% upper confidence limit of the empirical\n"
                "tail sits below the Corollary 1 bound.\n";
-
-  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

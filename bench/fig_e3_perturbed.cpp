@@ -13,8 +13,7 @@
 #include "core/complete_graph_model.hpp"
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
-#include "support/cli.hpp"
+#include "exp/sweep_cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -24,26 +23,19 @@ int main(int argc, char** argv) {
   std::int64_t n = 64;
   std::int64_t trials = 300;
   std::int64_t seed = 31;
-  std::int64_t threads = 0;
   double a = 1.0;
   std::string noises = "1e-6,1e-5,1e-4";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("fig_e3_perturbed",
-                       "E3: Lemma 2 perturbed-averaging envelope");
-  parser.add_flag("n", &n, "complete-graph size");
-  parser.add_flag("trials", &trials, "independent runs per configuration");
-  parser.add_flag("seed", &seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("a", &a, "Lemma 2 exponent a");
-  parser.add_flag("noises", &noises, "comma-separated noise bounds eps");
-  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
-  parser.add_flag("json", &json_path,
-                  "also write per-cell results to a JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("fig_e3_perturbed",
+                        "E3: Lemma 2 perturbed-averaging envelope");
+  cli.parser().add_flag("n", &n, "complete-graph size");
+  cli.parser().add_flag("trials", &trials,
+                        "independent runs per configuration");
+  cli.parser().add_flag("seed", &seed, "master seed");
+  cli.parser().add_flag("a", &a, "Lemma 2 exponent a");
+  cli.parser().add_flag("noises", &noises,
+                        "comma-separated noise bounds eps");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   const auto nn = static_cast<std::size_t>(n);
   std::cout << "=== E3: Lemma 2 envelope on K_" << nn << " (a=" << a
@@ -59,9 +51,8 @@ int main(int argc, char** argv) {
   const auto scenario = gg::exp::make_e3_perturbed(
       nn, a, noise_values, static_cast<std::uint32_t>(trials),
       static_cast<std::uint64_t>(seed));
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const auto summary = gg::exp::Runner(runner_options).run(scenario);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   const double allowed = gg::core::lemma2_failure_probability(nn, a);
   gg::ConsoleTable table({"noise", "t", "mean ||y||", "p95 ||y||",
@@ -79,8 +70,6 @@ int main(int argc, char** argv) {
     table.end_row();
   }
   table.print(std::cout);
-
-  gg::exp::write_sinks(summary, csv_path, json_path);
 
   std::cout << "\nNoise floor: with per-step |nu| < eps the norm stalls at\n"
                "Theta(n) * eps instead of contracting to 0 — compare the\n"

@@ -11,8 +11,7 @@
 
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
-#include "support/cli.hpp"
+#include "exp/sweep_cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -21,26 +20,17 @@ namespace gg = geogossip;
 int main(int argc, char** argv) {
   std::int64_t seed = 41;
   std::int64_t iterations = 800;
-  std::int64_t replicates = 3;
-  std::int64_t threads = 0;
+  // Coefficient draws per (n, family); the harness --replicates flag
+  // overrides the scenario count, so the dedicated flag is gone.
+  const std::int64_t replicates = 3;
   std::string sizes = "8,16,32,64,128,256,512";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("fig_e4_spectral",
-                       "E4: contraction spectrum of E[A^T A]");
-  parser.add_flag("seed", &seed, "master seed");
-  parser.add_flag("iterations", &iterations, "power-iteration steps");
-  parser.add_flag("replicates", &replicates,
-                  "coefficient draws per (n, family)");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
-  parser.add_flag("json", &json_path,
-                  "also write per-cell results to a JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("fig_e4_spectral",
+                        "E4: contraction spectrum of E[A^T A]");
+  cli.parser().add_flag("seed", &seed, "master seed");
+  cli.parser().add_flag("iterations", &iterations, "power-iteration steps");
+  cli.parser().add_flag("sizes", &sizes, "comma-separated n values");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   std::vector<std::size_t> ns;
   for (const auto& size_text : gg::split(sizes, ',')) {
@@ -53,9 +43,8 @@ int main(int argc, char** argv) {
       ns, static_cast<std::uint32_t>(iterations),
       static_cast<std::uint32_t>(replicates),
       static_cast<std::uint64_t>(seed));
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const auto summary = gg::exp::Runner(runner_options).run(scenario);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   gg::ConsoleTable table({"n", "alpha family", "lambda_max",
                           "1-8/(9(n-1))", "1-1/(2n)", "gap*n"});
@@ -73,7 +62,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n'gap*n' column: (1 - lambda) n — a constant confirms the\n"
                "1 - Theta(1/n) contraction; Lemma 1 promises >= 0.5.\n";
-
-  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

@@ -13,8 +13,7 @@
 
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
-#include "support/cli.hpp"
+#include "exp/sweep_cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -23,26 +22,17 @@ namespace gg = geogossip;
 int main(int argc, char** argv) {
   std::int64_t trials = 60;
   std::int64_t seed = 61;
-  std::int64_t threads = 0;
   std::string sizes = "500,2000,8000";
   std::string multipliers = "0.6,0.8,1.0,1.2,1.5,2.0";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("fig_e7_connectivity",
-                       "E7: connectivity threshold of G(n, r)");
-  parser.add_flag("trials", &trials, "graphs per (n, c)");
-  parser.add_flag("seed", &seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("multipliers", &multipliers,
-                  "comma-separated c values in r = c sqrt(log n / n)");
-  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
-  parser.add_flag("json", &json_path,
-                  "also write per-cell results to a JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("fig_e7_connectivity",
+                        "E7: connectivity threshold of G(n, r)");
+  cli.parser().add_flag("trials", &trials, "graphs per (n, c)");
+  cli.parser().add_flag("seed", &seed, "master seed");
+  cli.parser().add_flag("sizes", &sizes, "comma-separated n values");
+  cli.parser().add_flag("multipliers", &multipliers,
+                        "comma-separated c values in r = c sqrt(log n / n)");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   std::vector<std::size_t> ns;
   for (const auto& size_text : gg::split(sizes, ',')) {
@@ -61,9 +51,8 @@ int main(int argc, char** argv) {
   const auto scenario = gg::exp::make_e7_connectivity(
       ns, cs_values, static_cast<std::uint32_t>(trials),
       static_cast<std::uint64_t>(seed));
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const auto summary = gg::exp::Runner(runner_options).run(scenario);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   gg::ConsoleTable table(
       {"n", "c", "P(connected)", "giant frac", "mean degree"});
@@ -79,7 +68,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpect a sharp 0 -> 1 transition around c* ~ 0.56 that\n"
                "steepens with n; the paper's working radius (c >= 1) is\n"
                "comfortably inside the connected regime.\n";
-
-  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

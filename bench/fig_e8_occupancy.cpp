@@ -15,8 +15,7 @@
 #include "geometry/grid.hpp"
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
-#include "support/cli.hpp"
+#include "exp/sweep_cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -25,23 +24,14 @@ namespace gg = geogossip;
 int main(int argc, char** argv) {
   std::int64_t trials = 200;
   std::int64_t seed = 71;
-  std::int64_t threads = 0;
   std::string sizes = "1024,4096,16384,65536,262144,1048576";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("fig_e8_occupancy",
-                       "E8: occupancy concentration across the partition");
-  parser.add_flag("trials", &trials, "deployments per n");
-  parser.add_flag("seed", &seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
-  parser.add_flag("json", &json_path,
-                  "also write per-cell results to a JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("fig_e8_occupancy",
+                        "E8: occupancy concentration across the partition");
+  cli.parser().add_flag("trials", &trials, "deployments per n");
+  cli.parser().add_flag("seed", &seed, "master seed");
+  cli.parser().add_flag("sizes", &sizes, "comma-separated n values");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   std::vector<std::size_t> ns;
   for (const auto& size_text : gg::split(sizes, ',')) {
@@ -54,9 +44,8 @@ int main(int argc, char** argv) {
   const auto scenario = gg::exp::make_e8_occupancy(
       ns, static_cast<std::uint32_t>(trials),
       static_cast<std::uint64_t>(seed));
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const auto summary = gg::exp::Runner(runner_options).run(scenario);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   gg::ConsoleTable table({"n", "squares", "E#/square", "mean max|dev|",
                           "P(all<10%)", "1-Chernoff", "alpha range"});
@@ -90,7 +79,5 @@ int main(int argc, char** argv) {
          "simulable n it exceeds 10% — exactly why the harmonic-beta mode\n"
          "exists (DESIGN.md §2) and why the paper's constants demand\n"
          "(log n)^8-sized leaves.\n";
-
-  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

@@ -12,8 +12,7 @@
 
 #include "exp/probes.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
-#include "support/cli.hpp"
+#include "exp/sweep_cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -22,27 +21,19 @@ namespace gg = geogossip;
 int main(int argc, char** argv) {
   std::int64_t samples = 200000;
   std::int64_t seed = 81;
-  std::int64_t replicates = 3;
-  std::int64_t threads = 0;
+  // Fresh graphs per cell; the harness --replicates flag overrides this.
+  const std::int64_t replicates = 3;
   double radius_multiplier = 1.2;
   std::string sizes = "1024,4096";
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("fig_e9_rejection",
-                       "E9: target-node uniformity via rejection sampling");
-  parser.add_flag("samples", &samples, "target draws per replicate");
-  parser.add_flag("seed", &seed, "master seed");
-  parser.add_flag("replicates", &replicates, "fresh graphs per cell");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
-  parser.add_flag("sizes", &sizes, "comma-separated n values");
-  parser.add_flag("csv", &csv_path, "also write per-cell results to a CSV");
-  parser.add_flag("json", &json_path,
-                  "also write per-cell results to a JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("fig_e9_rejection",
+                        "E9: target-node uniformity via rejection sampling");
+  cli.parser().add_flag("samples", &samples, "target draws per replicate");
+  cli.parser().add_flag("seed", &seed, "master seed");
+  cli.parser().add_flag("radius-mult", &radius_multiplier,
+                        "radius multiplier");
+  cli.parser().add_flag("sizes", &sizes, "comma-separated n values");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   std::vector<std::size_t> ns;
   for (const auto& size_text : gg::split(sizes, ',')) {
@@ -56,9 +47,8 @@ int main(int argc, char** argv) {
       ns, static_cast<std::uint64_t>(samples), radius_multiplier,
       static_cast<std::uint32_t>(replicates),
       static_cast<std::uint64_t>(seed));
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const auto summary = gg::exp::Runner(runner_options).run(scenario);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   gg::ConsoleTable table({"n", "rejection", "TV dist", "chi^2/df",
                           "hops/draw", "rejects/draw"});
@@ -75,7 +65,5 @@ int main(int argc, char** argv) {
   std::cout << "\nchi^2/df ~ 1 means the sampled-target distribution is\n"
                "statistically indistinguishable from uniform; rejection\n"
                "buys uniformity for a constant-factor hop overhead.\n";
-
-  gg::exp::write_sinks(summary, csv_path, json_path);
   return 0;
 }

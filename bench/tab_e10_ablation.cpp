@@ -21,8 +21,7 @@
 #include "core/convergence.hpp"
 #include "core/schedule.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
-#include "support/cli.hpp"
+#include "exp/sweep_cli.hpp"
 #include "support/string_util.hpp"
 
 namespace gg = geogossip;
@@ -35,25 +34,17 @@ int main(int argc, char** argv) {
   std::int64_t n = 16384;
   std::int64_t seeds = 3;
   std::int64_t master_seed = 5;
-  std::int64_t threads = 0;
   double eps = 1e-3;
   double radius_multiplier = 1.2;
-  std::string csv_path;
-  std::string json_path;
 
-  gg::ArgParser parser("tab_e10_ablation", "E10: design-choice ablations");
-  parser.add_flag("n", &n, "deployment size");
-  parser.add_flag("seeds", &seeds, "replicates per row");
-  parser.add_flag("seed", &master_seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("eps", &eps, "accuracy target");
-  parser.add_flag("radius-mult", &radius_multiplier, "radius multiplier");
-  parser.add_flag("csv", &csv_path, "also write results to this CSV file");
-  parser.add_flag("json", &json_path,
-                  "also write results to this JSON-lines file");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("tab_e10_ablation", "E10: design-choice ablations");
+  cli.parser().add_flag("n", &n, "deployment size");
+  cli.parser().add_flag("seeds", &seeds, "replicates per row");
+  cli.parser().add_flag("seed", &master_seed, "master seed");
+  cli.parser().add_flag("eps", &eps, "accuracy target");
+  cli.parser().add_flag("radius-mult", &radius_multiplier,
+                        "radius multiplier");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   const auto nn = static_cast<std::size_t>(n);
   std::cout << "=== E10: ablations at n=" << gg::format_count(nn)
@@ -122,13 +113,7 @@ int main(int argc, char** argv) {
   add_row("multi | leaf noise 1e-7 (Lemma 2 in vivo)",
           ProtocolKind::kAffineMultilevel, noisy);
 
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const gg::exp::Runner runner(runner_options);
-  const auto summary = runner.run(scenario);
-
-  gg::exp::print_summary(std::cout, summary);
-  gg::exp::write_sinks(summary, csv_path, json_path);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
 
   std::cout << "\n--- literal §4.1 schedule at this n (reported, never "
                "simulated) ---\n";

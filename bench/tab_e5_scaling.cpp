@@ -15,9 +15,8 @@
 #include "core/convergence.hpp"
 #include "core/schedule.hpp"
 #include "exp/runner.hpp"
-#include "exp/sink.hpp"
+#include "exp/sweep_cli.hpp"
 #include "gossip/spanning_tree.hpp"
-#include "support/cli.hpp"
 #include "support/string_util.hpp"
 
 namespace gg = geogossip;
@@ -40,7 +39,6 @@ std::vector<std::size_t> parse_sizes(const std::string& csv) {
 int main(int argc, char** argv) {
   std::int64_t seeds = 4;
   std::int64_t master_seed = 1;
-  std::int64_t threads = 0;
   double eps = 1e-3;
   double radius_multiplier = 1.2;
   std::string boyd_ns = "512,1024,2048,4096,8192";
@@ -49,32 +47,28 @@ int main(int argc, char** argv) {
   std::string one_level_ns = "512,2048,8192,32768,131072";
   std::string multi_ns = "2048,8192,32768,131072";
   std::string decentral_ns = "1024,4096,16384";
-  std::string csv_path;
-  std::string json_path;
   bool quick = false;
 
-  gg::ArgParser parser("tab_e5_scaling",
-                       "E5: transmissions-to-eps scaling (headline table)");
-  parser.add_flag("seeds", &seeds, "replicates per (protocol, n)");
-  parser.add_flag("seed", &master_seed, "master seed");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("eps", &eps, "accuracy target");
-  parser.add_flag("radius-mult", &radius_multiplier,
-                  "radius multiplier c in r = c sqrt(log n / n)");
-  parser.add_flag("boyd-ns", &boyd_ns, "comma-separated n sweep for Boyd");
-  parser.add_flag("dimakis-ns", &dimakis_ns, "n sweep for Dimakis");
-  parser.add_flag("pathavg-ns", &pathavg_ns, "n sweep for path averaging");
-  parser.add_flag("onelevel-ns", &one_level_ns, "n sweep for affine-1level");
-  parser.add_flag("multi-ns", &multi_ns, "n sweep for affine-multi");
-  parser.add_flag("decentral-ns", &decentral_ns,
-                  "n sweep for the decentralized extension");
-  parser.add_flag("csv", &csv_path, "also write results to this CSV file");
-  parser.add_flag("json", &json_path,
-                  "also write results to this JSON-lines file");
-  parser.add_flag("quick", &quick, "shrink sweeps for a fast smoke run");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
+  gg::exp::SweepCli cli("tab_e5_scaling",
+                        "E5: transmissions-to-eps scaling (headline table)");
+  cli.parser().add_flag("seeds", &seeds, "replicates per (protocol, n)");
+  cli.parser().add_flag("seed", &master_seed, "master seed");
+  cli.parser().add_flag("eps", &eps, "accuracy target");
+  cli.parser().add_flag("radius-mult", &radius_multiplier,
+                        "radius multiplier c in r = c sqrt(log n / n)");
+  cli.parser().add_flag("boyd-ns", &boyd_ns,
+                        "comma-separated n sweep for Boyd");
+  cli.parser().add_flag("dimakis-ns", &dimakis_ns, "n sweep for Dimakis");
+  cli.parser().add_flag("pathavg-ns", &pathavg_ns,
+                        "n sweep for path averaging");
+  cli.parser().add_flag("onelevel-ns", &one_level_ns,
+                        "n sweep for affine-1level");
+  cli.parser().add_flag("multi-ns", &multi_ns, "n sweep for affine-multi");
+  cli.parser().add_flag("decentral-ns", &decentral_ns,
+                        "n sweep for the decentralized extension");
+  cli.parser().add_flag("quick", &quick,
+                        "shrink sweeps for a fast smoke run");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   if (quick) {
     boyd_ns = "256,512,1024";
@@ -112,13 +106,8 @@ int main(int argc, char** argv) {
             << " (r = " << radius_multiplier
             << " sqrt(log n / n), seeds=" << seeds << ") ===\n\n";
 
-  gg::exp::RunnerOptions runner_options;
-  runner_options.threads = gg::exp::checked_threads(threads);
-  const gg::exp::Runner runner(runner_options);
-  const auto summary = runner.run(scenario);
-
-  gg::exp::print_summary(std::cout, summary);
-  gg::exp::write_sinks(summary, csv_path, json_path);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& summary = cli.summary();
 
   // Fit tx ~ c n^p per protocol over the cells that mostly converged.
   std::vector<gg::analysis::ScalingReport> reports;

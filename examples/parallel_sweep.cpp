@@ -11,7 +11,8 @@
 //   parallel_sweep --scenario=e5-quick --threads=4 --compare
 //   parallel_sweep --scenario=e6-routing-quick --csv=out.csv
 //
-// Sweeps are restartable and distributable:
+// Sweeps are restartable and distributable (the harness flags live in
+// exp::SweepCli, shared with every bench driver):
 //
 //   # stream one flushed record per finished replicate
 //   parallel_sweep --scenario=e5-scaling-xl --json-replicates=xl.jsonl
@@ -28,201 +29,42 @@
 //   parallel_sweep --scenario=e5-scaling-xl --merge-only
 //       --resume=xl.shard-0-of-2.jsonl,xl.shard-1-of-2.jsonl --csv=xl.csv
 //
+// Long replicates can additionally checkpoint MID-flight: --snapshot-dir
+// (+ --snapshot-every) periodically persists each running replicate's full
+// trajectory state, and re-running the same command line after a kill
+// restores those replicates at the snapshotted tick and finishes them
+// bit-identically to an uninterrupted run.
+//
 // The registry covers every experiment E1-E11: protocol sweeps (E5, E10,
 // E11) and measurement probes (E1-E4, E6-E9), each with a -quick preset
 // sized for CI smoke runs (probes also register a -paper preset).
-#include <cmath>
-#include <filesystem>
 #include <iostream>
-#include <memory>
-#include <vector>
 
-#include "exp/checkpoint.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
-#include "exp/sink.hpp"
-#include "obs/heartbeat.hpp"
-#include "obs/telemetry.hpp"
-#include "obs/trace_export.hpp"
-#include "support/cli.hpp"
-#include "support/logging.hpp"
+#include "exp/sweep_cli.hpp"
 #include "support/string_util.hpp"
 
 namespace gg = geogossip;
 
-namespace {
-
-/// Parses "--shard=i/k".  Returns false (with a diagnostic) on bad specs;
-/// strict parse_int rejects negatives and trailing junk rather than
-/// letting "--shard=0/-1" degrade into a near-empty sweep.
-bool parse_shard_spec(const std::string& spec, std::uint32_t* shard_index,
-                      std::uint32_t* shard_count) {
-  const std::size_t slash = spec.find('/');
-  if (slash == std::string::npos || slash == 0 ||
-      slash + 1 >= spec.size()) {
-    std::cerr << "--shard expects i/k (e.g. --shard=0/4)\n";
-    return false;
-  }
-  try {
-    const std::int64_t index = gg::parse_int(spec.substr(0, slash));
-    const std::int64_t count = gg::parse_int(spec.substr(slash + 1));
-    if (count < 1 || index < 0 || index >= count ||
-        count > 0xFFFFFFFFll) {
-      std::cerr << "--shard=" << spec << ": need 0 <= i < k\n";
-      return false;
-    }
-    *shard_index = static_cast<std::uint32_t>(index);
-    *shard_count = static_cast<std::uint32_t>(count);
-    return true;
-  } catch (const gg::ArgumentError&) {
-    std::cerr << "--shard=" << spec << ": not a valid i/k pair\n";
-    return false;
-  }
-}
-
-/// True when both paths name the same file on disk — resolved through
-/// the filesystem, so "./x" vs "x", relative vs absolute spellings and
-/// symlinks all count (a raw string compare here would let a resume
-/// TRUNCATE its own checkpoint).
-bool same_file(const std::string& a, const std::string& b) {
-  if (a == b) return true;
-  std::error_code ec;
-  const auto ca = std::filesystem::weakly_canonical(a, ec);
-  if (ec) return false;
-  const auto cb = std::filesystem::weakly_canonical(b, ec);
-  if (ec) return false;
-  return ca == cb;
-}
-
-// Checkpoint anomalies go through the leveled logger, not bare stderr:
-// unattended sweeps read these from piped logs, where the timestamp and
-// severity prefix is what makes them correlatable with heartbeat files.
-void print_checkpoint_warnings(const gg::exp::CheckpointStats& stats) {
-  if (stats.malformed > 0) {
-    gg::log_warn("resume: skipped ", stats.malformed,
-                 " malformed line(s) — those replicates will re-run");
-  }
-  if (stats.foreign > 0) {
-    gg::log_warn("resume: ignored ", stats.foreign,
-                 " record(s) from another (scenario, master_seed)");
-  }
-  if (stats.duplicate > 0) {
-    gg::log_warn("resume: collapsed ", stats.duplicate,
-                 " duplicate record(s)");
-  }
-  if (stats.torn_tail) {
-    gg::log_warn("resume: tolerated a torn final line (killed writer)");
-  }
-}
-
-/// Parses "--heartbeat=FILE,SECS" (",SECS" optional; split on the LAST
-/// comma so paths containing commas still work when an interval follows).
-bool parse_heartbeat_spec(const std::string& spec, std::string* path,
-                          double* interval_seconds) {
-  *path = spec;
-  *interval_seconds = 5.0;
-  const std::size_t comma = spec.rfind(',');
-  if (comma != std::string::npos) {
-    try {
-      const double secs = gg::parse_double(spec.substr(comma + 1));
-      if (secs > 0.0) {
-        *path = spec.substr(0, comma);
-        *interval_seconds = secs;
-      }
-      // Non-positive interval: treat the whole spec as a path — but a
-      // parsed-yet-bogus interval is more likely a typo, reject it.
-      if (secs <= 0.0) {
-        std::cerr << "--heartbeat=" << spec
-                  << ": interval must be positive seconds\n";
-        return false;
-      }
-    } catch (const gg::ArgumentError&) {
-      // No numeric suffix: the comma belongs to the path.
-    }
-  }
-  if (path->empty()) {
-    std::cerr << "--heartbeat needs a file path\n";
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::string scenario_name = "e5-quick";
-  std::int64_t threads = 0;
-  std::int64_t replicates = 0;
-  std::string csv_path;
-  std::string json_path;
-  std::string json_replicates_path;
-  std::string shard_spec;
-  std::string resume_spec;
-  bool merge_only = false;
-  double mem_budget_gb = 0.0;
   bool list = false;
   bool list_names = false;
   bool compare = false;
-  std::string trace_path;
-  std::string heartbeat_spec;
-  std::string log_level = "warn";
 
-  gg::ArgParser parser("parallel_sweep",
-                       "run a registered scenario on the parallel harness");
-  parser.add_flag("scenario", &scenario_name, "registered scenario name");
-  parser.add_flag("threads", &threads,
-                  "worker threads (0 = hardware concurrency)");
-  parser.add_flag("replicates", &replicates,
-                  "override the scenario's replicate count (0 = keep)");
-  parser.add_flag("csv", &csv_path, "write per-cell results to this CSV");
-  parser.add_flag("json", &json_path,
-                  "write per-cell results to this JSON-lines file");
-  parser.add_flag("json-replicates", &json_replicates_path,
-                  "stream one JSON-lines record per finished replicate to "
-                  "this file (flushed per record; interrupted sweeps keep "
-                  "partial results and --resume picks them back up)");
-  parser.add_flag("shard", &shard_spec,
-                  "run shard i of k (i/k): round-robin partition of the "
-                  "(cell, replicate) stream; --csv/--json/--json-replicates "
-                  "paths are suffixed per shard unless they carry a {shard} "
-                  "placeholder");
-  parser.add_flag("resume", &resume_spec,
-                  "comma-separated replicate-record files from earlier "
-                  "(killed or sharded) runs of this scenario; completed "
-                  "replicates are skipped and re-ingested.  Resuming into "
-                  "the same --json-replicates path appends only new records");
-  parser.add_flag("merge-only", &merge_only,
-                  "run nothing: require --resume to cover the scenario "
-                  "completely and emit the merged summaries (exit 1 when "
-                  "replicates are missing)");
-  parser.add_flag("mem-budget", &mem_budget_gb,
-                  "cap concurrent replicates by their memory hints to this "
-                  "many GiB (0 = no cap; XL scenarios carry hints)");
-  parser.add_flag("list", &list, "list registered scenarios and exit");
-  parser.add_flag("list-names", &list_names,
-                  "print bare scenario names (one per line) and exit");
-  parser.add_flag("compare", &compare,
-                  "re-run with 1 thread and check bit-identical aggregates");
-  parser.add_flag("trace", &trace_path,
-                  "enable telemetry and write a Chrome/Perfetto trace "
-                  "(chrome://tracing or ui.perfetto.dev) of the sweep to "
-                  "this file ({shard}-suffixed like the other outputs)");
-  parser.add_flag("heartbeat", &heartbeat_spec,
-                  "write a heartbeat JSONL file for unattended runs: "
-                  "FILE[,SECS] (default every 5s; torn-write safe via "
-                  "rename, so every line always parses)");
-  parser.add_flag("log-level", &log_level,
-                  "diagnostic verbosity: debug|info|warn|error|off "
-                  "(default warn)");
-  const auto parsed = parser.parse(argc, argv);
-  if (parsed != gg::ParseResult::kOk) return gg::parse_exit_code(parsed);
-
-  try {
-    gg::LogConfig::set_level(gg::parse_log_level(log_level));
-  } catch (const gg::ArgumentError& error) {
-    std::cerr << error.what() << "\n";
-    return 1;
-  }
+  gg::exp::SweepCli cli("parallel_sweep",
+                        "run a registered scenario on the parallel harness");
+  cli.parser().add_flag("scenario", &scenario_name,
+                        "registered scenario name");
+  cli.parser().add_flag("list", &list,
+                        "list registered scenarios and exit");
+  cli.parser().add_flag("list-names", &list_names,
+                        "print bare scenario names (one per line) and exit");
+  cli.parser().add_flag(
+      "compare", &compare,
+      "re-run with 1 thread and check bit-identical aggregates");
+  if (const auto exit_code = cli.parse(argc, argv)) return *exit_code;
 
   gg::exp::register_builtin_scenarios();
   auto& registry = gg::exp::ScenarioRegistry::instance();
@@ -243,169 +85,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::uint32_t shard_index = 0;
-  std::uint32_t shard_count = 1;
-  if (!shard_spec.empty() &&
-      !parse_shard_spec(shard_spec, &shard_index, &shard_count)) {
-    return 1;
-  }
-  if (merge_only && shard_count > 1) {
-    std::cerr << "--merge-only folds ALL shards; drop --shard\n";
-    return 1;
-  }
-  if (merge_only && resume_spec.empty()) {
-    std::cerr << "--merge-only needs --resume=<shard files>\n";
-    return 1;
-  }
-  if (merge_only && !json_replicates_path.empty()) {
-    std::cerr << "--merge-only runs nothing, so --json-replicates would "
-                 "write an empty file; use tools/merge_replicates.py to "
-                 "produce a merged record file\n";
-    return 1;
-  }
-
   auto scenario = registry.make(scenario_name);
-  if (replicates > 0) {
-    scenario.replicates = static_cast<std::uint32_t>(replicates);
-  }
+  cli.apply_overrides(scenario);
+  std::cout << "scenario " << scenario.name << ": " << scenario.description
+            << "\n\n";
 
-  // Per-shard output paths so k cooperating processes can share one
-  // command line (identity when unsharded and no {shard} placeholder).
-  if (!csv_path.empty()) {
-    csv_path = gg::exp::shard_path(csv_path, shard_index, shard_count);
-  }
-  if (!json_path.empty()) {
-    json_path = gg::exp::shard_path(json_path, shard_index, shard_count);
-  }
-  if (!json_replicates_path.empty()) {
-    json_replicates_path =
-        gg::exp::shard_path(json_replicates_path, shard_index, shard_count);
-  }
-  if (!trace_path.empty()) {
-    trace_path = gg::exp::shard_path(trace_path, shard_index, shard_count);
-    gg::obs::set_enabled(true);
-  }
-
-  std::cout << "scenario " << scenario.name << ": "
-            << scenario.description << "\n\n";
-
-  gg::exp::RunnerOptions options;
-  options.threads = gg::exp::checked_threads(threads);
-  options.shard_index = shard_index;
-  options.shard_count = shard_count;
-  if (mem_budget_gb < 0.0) {
-    std::cerr << "--mem-budget must be >= 0\n";
-    return 1;
-  }
-  options.memory_budget_bytes = static_cast<std::uint64_t>(
-      mem_budget_gb * 1024.0 * 1024.0 * 1024.0);
-
-  // Load checkpoints BEFORE any sink opens the replicate path: resuming
-  // into the same file must read it completely first.
-  bool resume_into_same_file = false;
-  if (!resume_spec.empty()) {
-    auto checkpoint = std::make_shared<gg::exp::Checkpoint>(
-        scenario.name, scenario.master_seed);
-    for (const auto& path : gg::split(resume_spec, ',')) {
-      if (path.empty()) continue;
-      checkpoint->load_file(path);
-      if (!json_replicates_path.empty() &&
-          same_file(path, json_replicates_path)) {
-        resume_into_same_file = true;
-      }
-    }
-    print_checkpoint_warnings(checkpoint->stats());
-    std::cout << "resume: " << checkpoint->size()
-              << " completed replicate(s) loaded\n";
-    if (merge_only) {
-      const std::size_t tasks =
-          scenario.cells.size() * scenario.replicates;
-      std::size_t missing = 0;
-      for (std::size_t task = 0; task < tasks; ++task) {
-        if (!checkpoint->contains(
-                task / scenario.replicates,
-                static_cast<std::uint32_t>(task % scenario.replicates))) {
-          ++missing;
-        }
-      }
-      if (missing > 0) {
-        std::cerr << "--merge-only: " << missing << " of " << tasks
-                  << " replicates missing from the resume files\n";
-        return 1;
-      }
-    }
-    options.resume_from = std::move(checkpoint);
-  }
-
-  std::unique_ptr<gg::exp::JsonLinesSink> replicate_sink;
-  if (!json_replicates_path.empty()) {
-    replicate_sink = std::make_unique<gg::exp::JsonLinesSink>(
-        json_replicates_path,
-        resume_into_same_file ? gg::exp::JsonLinesSink::Mode::kAppend
-                              : gg::exp::JsonLinesSink::Mode::kTruncate);
-    options.progress = [&](const gg::exp::Cell& cell,
-                           std::size_t cell_index, std::uint32_t replicate,
-                           const gg::exp::ReplicateResult& result) {
-      replicate_sink->write_replicate(scenario.name, scenario.master_seed,
-                                      cell, cell_index, replicate, result);
-    };
-  }
-  std::unique_ptr<gg::obs::Heartbeat> heartbeat;
-  if (!heartbeat_spec.empty()) {
-    std::string heartbeat_path;
-    double interval_seconds = 5.0;
-    if (!parse_heartbeat_spec(heartbeat_spec, &heartbeat_path,
-                              &interval_seconds)) {
-      return 1;
-    }
-    gg::obs::Heartbeat::Options hb;
-    hb.path = gg::exp::shard_path(heartbeat_path, shard_index, shard_count);
-    hb.interval_seconds = interval_seconds;
-    hb.scenario = scenario.name;
-    hb.shard_index = shard_index;
-    hb.shard_count = shard_count;
-    // Total = the tasks THIS process owns under the round-robin shard
-    // partition, so completed == total signals a finished shard.
-    const std::uint64_t task_count =
-        static_cast<std::uint64_t>(scenario.cells.size()) *
-        scenario.replicates;
-    hb.total_replicates =
-        task_count / shard_count +
-        (task_count % shard_count > shard_index ? 1 : 0);
-    heartbeat = std::make_unique<gg::obs::Heartbeat>(std::move(hb));
-    options.heartbeat = heartbeat.get();
-  }
-
-  const gg::exp::Runner runner(options);
-  const auto parallel = runner.run(scenario);
-  if (heartbeat != nullptr) heartbeat->stop();
-  gg::exp::print_summary(std::cout, parallel);
-
-  if (options.memory_budget_bytes > 0 && parallel.peak_rss_kb > 0 &&
-      parallel.peak_rss_kb * 1024 > options.memory_budget_bytes) {
-    gg::log_warn("peak RSS ", parallel.peak_rss_kb,
-                 " KiB exceeded --mem-budget (",
-                 options.memory_budget_bytes / (1024 * 1024), " MiB) — "
-                 "the scenario's mem hints underestimate its footprint");
-  }
-
-  // Export BEFORE any --compare re-run records more events; the trace
-  // describes the primary (parallel) sweep.
-  if (!trace_path.empty()) {
-    gg::obs::write_chrome_trace_file(
-        trace_path, gg::obs::snapshot(),
-        "parallel_sweep " + scenario.name);
-    std::cout << "trace: " << trace_path << "\n";
-  }
-
-  gg::exp::write_sinks(parallel, csv_path, json_path);
+  if (const int exit_code = cli.run(scenario, std::cout)) return exit_code;
+  const auto& parallel = cli.summary();
 
   if (compare) {
-    gg::exp::RunnerOptions serial_options;
+    gg::exp::RunnerOptions serial_options = cli.base_options();
     serial_options.threads = 1;
-    serial_options.shard_index = options.shard_index;
-    serial_options.shard_count = options.shard_count;
-    serial_options.resume_from = options.resume_from;
     const auto serial = gg::exp::Runner(serial_options).run(scenario);
 
     bool identical = parallel.cells.size() == serial.cells.size();

@@ -93,7 +93,9 @@ double sum_of(std::span<const double> values) {
 TrialOutcome run_protocol_trial_impl(ProtocolKind kind,
                                      const graph::GeometricGraph& graph,
                                      const std::vector<double>& x0, Rng& rng,
-                                     const TrialOptions& options) {
+                                     const TrialOptions& options,
+                                     const sim::CheckpointPolicy& checkpoints,
+                                     std::string_view resume) {
   GG_CHECK_ARG(x0.size() == graph.node_count(),
                "x0 size must match the graph");
   const double sum_before = sum_of(x0);
@@ -108,30 +110,35 @@ TrialOutcome run_protocol_trial_impl(ProtocolKind kind,
   switch (kind) {
     case ProtocolKind::kBoydPairwise: {
       gossip::PairwiseGossip protocol(graph, x0, rng);
-      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      const auto run =
+          sim::run_to_epsilon(protocol, rng, run_config, checkpoints, resume);
       return from_run(run, sum_before, sum_of(protocol.values()));
     }
     case ProtocolKind::kDimakisGeographic: {
       gossip::GeographicGossip protocol(graph, x0, rng, options.geographic);
-      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      const auto run =
+          sim::run_to_epsilon(protocol, rng, run_config, checkpoints, resume);
       return from_run(run, sum_before, sum_of(protocol.values()));
     }
     case ProtocolKind::kPathAveraging: {
       gossip::PathAveragingGossip protocol(graph, x0, rng);
-      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      const auto run =
+          sim::run_to_epsilon(protocol, rng, run_config, checkpoints, resume);
       return from_run(run, sum_before, sum_of(protocol.values()));
     }
     case ProtocolKind::kAffineAsync: {
       HierarchyProtocolConfig config = options.async_protocol;
       config.eps = options.eps;
       HierarchicalAffineProtocol protocol(graph, x0, rng, config);
-      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      const auto run =
+          sim::run_to_epsilon(protocol, rng, run_config, checkpoints, resume);
       return from_run(run, sum_before, sum_of(protocol.values()));
     }
     case ProtocolKind::kAffineDecentralized: {
       DecentralizedAffineGossip protocol(graph, x0, rng,
                                          options.decentralized);
-      const auto run = sim::run_to_epsilon(protocol, rng, run_config);
+      const auto run =
+          sim::run_to_epsilon(protocol, rng, run_config, checkpoints, resume);
       auto outcome = from_run(run, sum_before, sum_of(protocol.values()));
       outcome.far_exchanges = protocol.far_exchanges();
       outcome.near_exchanges = protocol.near_exchanges();
@@ -143,7 +150,7 @@ TrialOutcome run_protocol_trial_impl(ProtocolKind kind,
       config.eps = options.eps;
       if (kind == ProtocolKind::kAffineOneLevel) config.max_depth = 1;
       MultilevelAffineGossip protocol(graph, x0, rng, config);
-      const auto result = protocol.run();
+      const auto result = protocol.run(checkpoints, resume);
       TrialOutcome outcome;
       outcome.converged = result.converged;
       outcome.final_error = result.final_error;
@@ -181,11 +188,21 @@ TrialOutcome run_protocol_trial(ProtocolKind kind,
                                 const graph::GeometricGraph& graph,
                                 const std::vector<double>& x0, Rng& rng,
                                 const TrialOptions& options) {
+  return run_protocol_trial(kind, graph, x0, rng, options,
+                            sim::CheckpointPolicy{}, std::string_view{});
+}
+
+TrialOutcome run_protocol_trial(ProtocolKind kind,
+                                const graph::GeometricGraph& graph,
+                                const std::vector<double>& x0, Rng& rng,
+                                const TrialOptions& options,
+                                const sim::CheckpointPolicy& checkpoints,
+                                std::string_view resume) {
   obs::Span span("protocol_run", "n",
                  static_cast<std::int64_t>(graph.node_count()), "kind",
                  static_cast<std::int64_t>(kind));
-  const TrialOutcome outcome =
-      run_protocol_trial_impl(kind, graph, x0, rng, options);
+  const TrialOutcome outcome = run_protocol_trial_impl(
+      kind, graph, x0, rng, options, checkpoints, resume);
   report_trial(outcome);
   return outcome;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/decentralized.hpp"
@@ -67,6 +68,19 @@ TrialOutcome run_protocol_trial(ProtocolKind kind,
                                 const graph::GeometricGraph& graph,
                                 const std::vector<double>& x0, Rng& rng,
                                 const TrialOptions& options = {});
+
+/// Checkpoint-aware variant: `checkpoints` periodically serializes the
+/// mid-trial protocol + RNG + clock state (see sim::CheckpointPolicy); a
+/// non-empty `resume` payload restores a snapshotted trial of the SAME
+/// (kind, graph, x0, rng-seed) configuration and continues bit-identically.
+/// Round-based kinds snapshot between top rounds; tick kinds at tick
+/// cadence.  All kinds support the contract.
+TrialOutcome run_protocol_trial(ProtocolKind kind,
+                                const graph::GeometricGraph& graph,
+                                const std::vector<double>& x0, Rng& rng,
+                                const TrialOptions& options,
+                                const sim::CheckpointPolicy& checkpoints,
+                                std::string_view resume);
 
 /// Aggregate over seeds: median / quartiles of total transmissions.
 struct SweepPoint {

@@ -7,6 +7,7 @@
 #include "core/round_protocol.hpp"
 #include "routing/greedy.hpp"
 #include "support/check.hpp"
+#include "support/snapshot.hpp"
 
 namespace geogossip::core {
 
@@ -133,6 +134,16 @@ void DecentralizedAffineGossip::on_tick(const sim::Tick& tick) {
   } else {
     near(tick.node);
   }
+}
+
+void DecentralizedAffineGossip::snapshot_scratch(SnapshotWriter& w) const {
+  w.u64(far_exchanges_);
+  w.u64(near_exchanges_);
+}
+
+void DecentralizedAffineGossip::restore_scratch(SnapshotReader& r) {
+  far_exchanges_ = r.u64();
+  near_exchanges_ = r.u64();
 }
 
 }  // namespace geogossip::core

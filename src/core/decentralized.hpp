@@ -70,6 +70,12 @@ class DecentralizedAffineGossip final : public gossip::ValueProtocol {
   std::uint64_t near_exchanges() const noexcept { return near_exchanges_; }
   int square_count() const noexcept { return grid_.cell_count(); }
 
+ protected:
+  /// Only the exchange counters are trajectory state; the occupancy grid,
+  /// peer CSR and far probability are deterministic ctor products.
+  void snapshot_scratch(SnapshotWriter& w) const override;
+  void restore_scratch(SnapshotReader& r) override;
+
  private:
   void near(graph::NodeId node);
   void far(graph::NodeId node);

@@ -6,6 +6,7 @@
 #include "core/affine.hpp"
 #include "routing/greedy.hpp"
 #include "support/check.hpp"
+#include "support/snapshot.hpp"
 
 namespace geogossip::core {
 
@@ -257,6 +258,37 @@ void HierarchicalAffineProtocol::on_tick(const sim::Tick& tick) {
     // The root never deactivates; its counter only gates re-activation.
     if (counter_[node] < budget_[sid]) ++counter_[node];
   }
+}
+
+void HierarchicalAffineProtocol::snapshot_scratch(SnapshotWriter& w) const {
+  w.u8_span(local_on_);
+  w.u8_span(global_on_);
+  w.u32_span(counter_);
+  w.u8_span(square_active_);
+  w.u64(far_exchanges_);
+  w.u64(near_exchanges_);
+  w.u64(activations_);
+}
+
+void HierarchicalAffineProtocol::restore_scratch(SnapshotReader& r) {
+  auto restore_u8 = [&r](std::vector<std::uint8_t>& target,
+                         const char* what) {
+    auto restored = r.u8_span();
+    GG_CHECK_ARG(restored.size() == target.size(),
+                 std::string("HierarchicalAffineProtocol::restore: ") +
+                     what + " size mismatch");
+    target = std::move(restored);
+  };
+  restore_u8(local_on_, "local_on");
+  restore_u8(global_on_, "global_on");
+  auto counters = r.u32_span();
+  GG_CHECK_ARG(counters.size() == counter_.size(),
+               "HierarchicalAffineProtocol::restore: counter size mismatch");
+  counter_ = std::move(counters);
+  restore_u8(square_active_, "square_active");
+  far_exchanges_ = r.u64();
+  near_exchanges_ = r.u64();
+  activations_ = r.u64();
 }
 
 }  // namespace geogossip::core

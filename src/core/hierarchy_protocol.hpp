@@ -98,6 +98,16 @@ class HierarchicalAffineProtocol final : public gossip::ValueProtocol {
   /// Counter budget of a square's representative (own-tick units).
   double averaging_time(int square_id) const;
 
+ protected:
+  /// Serialized: the paper's per-node state machine (local/global on,
+  /// counters), per-square activity and the exchange counters.  NOT
+  /// serialized: the hierarchy, leaf-peer CSR, budgets and Far rates (all
+  /// deterministic ctor products of the same configuration) and the route
+  /// cache (a memoization of deterministic greedy routes — a cold cache
+  /// recomputes identical hop counts).
+  void snapshot_scratch(SnapshotWriter& w) const override;
+  void restore_scratch(SnapshotReader& r) override;
+
  private:
   void activate_square(int square_id);
   void deactivate_square(int square_id);

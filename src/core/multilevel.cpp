@@ -1,11 +1,13 @@
 #include "core/multilevel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "core/affine.hpp"
 #include "routing/greedy.hpp"
 #include "support/check.hpp"
+#include "support/snapshot.hpp"
 
 namespace geogossip::core {
 
@@ -13,6 +15,10 @@ using geometry::SquareInfo;
 using graph::NodeId;
 
 namespace {
+
+/// Leading tag of a multilevel snapshot payload; distinct from the tick
+/// engine's tag so a mixed-up payload fails at the first read.
+constexpr std::string_view kMultilevelPayloadTag = "geogossip-multilevel";
 
 geometry::HierarchyConfig hierarchy_config_from(
     const MultilevelConfig& config) {
@@ -271,31 +277,74 @@ void MultilevelAffineGossip::average_square(int square_id) {
 }
 
 MultilevelResult MultilevelAffineGossip::run() {
-  MultilevelResult result;
+  return run(sim::CheckpointPolicy{}, std::string_view{});
+}
 
-  const double initial_dev = deviation_norm_tracked();
-  if (initial_dev == 0.0) {
-    result.converged = true;
-    result.final_error = 0.0;
-    result.transmissions = meter_.snapshot();
-    return result;
-  }
+MultilevelResult MultilevelAffineGossip::run(
+    const sim::CheckpointPolicy& checkpoints, std::string_view resume) {
+  MultilevelResult result;
 
   const SquareInfo& root = hierarchy_.square(hierarchy_.root());
   const auto children = nonempty_children(root);
 
-  // Degenerate deployments: a root that is itself a leaf just averages.
-  if (root.is_leaf() || children.size() < 2) {
-    average_square(hierarchy_.root());
-    result.converged =
-        deviation_norm_tracked() <= config_.eps * initial_dev;
-    result.final_error = deviation_norm_tracked() / initial_dev;
-    result.transmissions = meter_.snapshot();
-    return result;
-  }
+  double initial_dev = 0.0;
+  std::uint64_t start_round = 0;
 
-  charge_activation(root);
-  for (const int child : children) average_square(child);
+  if (!resume.empty()) {
+    // Snapshots are only taken inside the closed top loop, so a resume
+    // payload implies the non-degenerate path: skip the activation pass
+    // (its transmissions and RNG draws are part of the restored state).
+    SnapshotReader r(resume);
+    GG_CHECK_ARG(
+        r.str() == kMultilevelPayloadTag,
+        "MultilevelAffineGossip: resume payload is not a multilevel "
+        "snapshot");
+    const std::uint64_t snap_n = r.u64();
+    GG_CHECK_ARG(snap_n == x_.size(),
+                 "MultilevelAffineGossip: snapshot n mismatch");
+    start_round = r.u64();
+    result.top_rounds = r.u64();
+    initial_dev = r.f64();
+    alpha_out_of_range_ = r.u64();
+    sim::TxSnapshot tx;
+    for (auto& count : tx.by_category) count = r.u64();
+    meter_.restore(tx);
+    const std::uint64_t trace_count = r.u64();
+    result.trace.reserve(trace_count);
+    for (std::uint64_t k = 0; k < trace_count; ++k) {
+      const std::uint64_t tx_total = r.u64();
+      const double err = r.f64();
+      result.trace.emplace_back(tx_total, err);
+    }
+    r.f64_span_into(x_);
+    tracker_.restore(r);
+    rng_->restore(r);
+    r.finish();
+    GG_CHECK_ARG(!root.is_leaf() && children.size() >= 2,
+                 "MultilevelAffineGossip: snapshot from a non-degenerate "
+                 "run restored into a degenerate deployment");
+  } else {
+    initial_dev = deviation_norm_tracked();
+    if (initial_dev == 0.0) {
+      result.converged = true;
+      result.final_error = 0.0;
+      result.transmissions = meter_.snapshot();
+      return result;
+    }
+
+    // Degenerate deployments: a root that is itself a leaf just averages.
+    if (root.is_leaf() || children.size() < 2) {
+      average_square(hierarchy_.root());
+      result.converged =
+          deviation_norm_tracked() <= config_.eps * initial_dev;
+      result.final_error = deviation_norm_tracked() / initial_dev;
+      result.transmissions = meter_.snapshot();
+      return result;
+    }
+
+    charge_activation(root);
+    for (const int child : children) average_square(child);
+  }
 
   std::uint64_t max_rounds = config_.max_top_rounds;
   if (max_rounds == 0) {
@@ -304,7 +353,29 @@ MultilevelResult MultilevelAffineGossip::run() {
         std::ceil(64.0 * k * std::log(k / config_.eps)));
   }
 
-  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+  const bool snapshotting = checkpoints.enabled();
+  auto last_snapshot = std::chrono::steady_clock::now();
+  const auto take_snapshot = [&](std::uint64_t next_round) {
+    SnapshotWriter w;
+    w.str(kMultilevelPayloadTag);
+    w.u64(x_.size());
+    w.u64(next_round);
+    w.u64(result.top_rounds);
+    w.f64(initial_dev);
+    w.u64(alpha_out_of_range_);
+    for (const auto count : meter_.snapshot().by_category) w.u64(count);
+    w.u64(result.trace.size());
+    for (const auto& [tx_total, err] : result.trace) {
+      w.u64(tx_total);
+      w.f64(err);
+    }
+    w.f64_span(x_);
+    tracker_.save(w);
+    rng_->save(w);
+    checkpoints.persist(w.bytes(), next_round);
+  };
+
+  for (std::uint64_t round = start_round; round < max_rounds; ++round) {
     const std::size_t i = rng_->below(children.size());
     const std::size_t j = rng_->below_excluding(children.size(), i);
     exchange(root, children[i], children[j]);
@@ -320,6 +391,21 @@ MultilevelResult MultilevelAffineGossip::run() {
     if (err <= config_.eps) {
       result.converged = true;
       break;
+    }
+
+    if (!snapshotting) continue;
+    // Between-round snapshot: every_ticks counts top rounds here.  Pure
+    // reads — results with and without snapshotting stay bit-identical.
+    bool due = checkpoints.every_ticks > 0 &&
+               (round + 1) % checkpoints.every_ticks == 0;
+    if (!due && checkpoints.every_seconds > 0.0) {
+      const std::chrono::duration<double> since =
+          std::chrono::steady_clock::now() - last_snapshot;
+      due = since.count() >= checkpoints.every_seconds;
+    }
+    if (due) {
+      take_snapshot(round + 1);
+      last_snapshot = std::chrono::steady_clock::now();
     }
   }
 

@@ -33,6 +33,7 @@
 #include "geometry/hierarchy.hpp"
 #include "graph/geometric_graph.hpp"
 #include "sim/deviation_tracker.hpp"
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "support/rng.hpp"
 
@@ -91,6 +92,17 @@ class MultilevelAffineGossip {
 
   /// Runs the closed top-level loop to the epsilon target.
   MultilevelResult run();
+
+  /// Checkpoint-aware variant of the Snapshot/Restore contract for this
+  /// round-based (non-tick-engine) family.  Snapshots are taken between
+  /// top-level rounds — the natural commit point of the closed loop —
+  /// with CheckpointPolicy::every_ticks counting top rounds.  A non-empty
+  /// `resume` payload restores values, tracker, meter, RNG and the round
+  /// counter, and the completed run is bit-identical to an uninterrupted
+  /// one.  Degenerate deployments (leaf root, a single nonempty child)
+  /// finish in one open-loop pass and never snapshot.
+  MultilevelResult run(const sim::CheckpointPolicy& checkpoints,
+                       std::string_view resume);
 
   std::span<const double> values() const noexcept { return x_; }
   const geometry::PartitionHierarchy& hierarchy() const noexcept {

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exp/schema.hpp"
 #include "sim/metrics.hpp"
 #include "support/check.hpp"
 
@@ -422,6 +423,23 @@ void Checkpoint::load(std::istream& in) {
         // record kinds interleave legally with replicate records.
         ++stats_.other_lines;
         continue;
+      }
+      // Schema check BEFORE any payload field is trusted.  Absent stamp =
+      // schema-1 legacy record, accepted (version 2 only added the stamp);
+      // a present-but-different stamp is a hard error, NOT a skipped line:
+      // silently re-running those replicates would mask that the whole
+      // file was produced by an incompatible build.
+      if (const JsonValue* schema = object.get("schema")) {
+        if (!schema->is_uint || schema->uint_value != kSchemaVersion) {
+          throw ArgumentError(
+              "Checkpoint::load: record carries schema " +
+              (schema->is_uint ? std::to_string(schema->uint_value)
+                               : std::string("?")) +
+              " but this build reads schema " +
+              std::to_string(kSchemaVersion) +
+              " — refusing to re-ingest records this code cannot "
+              "interpret");
+        }
       }
       const JsonValue* scenario = object.get("scenario");
       if (scenario == nullptr ||

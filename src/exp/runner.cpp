@@ -10,6 +10,7 @@
 #include <set>
 #include <utility>
 
+#include "exp/snapshot_store.hpp"
 #include "exp/thread_pool.hpp"
 #include "graph/geometric_graph.hpp"
 #include "obs/heartbeat.hpp"
@@ -84,20 +85,32 @@ std::vector<double> make_initial_field(const Cell& cell,
 }  // namespace
 
 ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed) {
+  return run_replicate(cell, seed, sim::CheckpointPolicy{},
+                       std::string_view{});
+}
+
+ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed,
+                              const sim::CheckpointPolicy& checkpoints,
+                              std::string_view resume) {
   GG_CHECK_ARG(cell.n >= 2, "run_replicate: cell.n >= 2");
   if (cell.trial) {
+    // Probe trials: short, self-contained measurements with no engine
+    // state worth persisting — snapshots do not apply.
     ReplicateResult result = cell.trial(cell, seed);
     result.seed = seed;
     return result;
   }
+  // Everything up to the trial is a deterministic function of `seed`, so a
+  // restored trial reconstructs the identical graph, field and protocol
+  // configuration before the snapshot payload overwrites the trajectory.
   Rng rng(seed);
   const auto graph =
       graph::GeometricGraph::sample(cell.n, cell.radius_multiplier, rng);
   auto x0 = make_initial_field(cell, graph, rng);
   sim::center_and_normalize(x0);
 
-  const auto outcome =
-      core::run_protocol_trial(cell.kind, graph, x0, rng, cell.options);
+  const auto outcome = core::run_protocol_trial(
+      cell.kind, graph, x0, rng, cell.options, checkpoints, resume);
 
   ReplicateResult result;
   result.seed = seed;
@@ -125,6 +138,14 @@ SweepSummary Runner::run(const Scenario& scenario) const {
                      resume->master_seed() == scenario.master_seed,
                  "Runner::run: resume checkpoint is for a different "
                  "(scenario, master_seed)");
+  }
+
+  // Mid-replicate snapshot store (see RunnerOptions::snapshot_dir).  Tasks
+  // own disjoint slots, so workers never touch the same file.
+  std::unique_ptr<SnapshotStore> store;
+  if (!options_.snapshot_dir.empty()) {
+    store = std::make_unique<SnapshotStore>(
+        options_.snapshot_dir, scenario.name, scenario.master_seed);
   }
 
   const std::size_t cell_count = scenario.cells.size();
@@ -162,6 +183,9 @@ SweepSummary Runner::run(const Scenario& scenario) const {
         results[task] = *done;
         have[task] = 1;
         ++resumed;
+        // The record is durable; a stale mid-replicate snapshot for the
+        // slot would only be reloaded pointlessly on the next resume.
+        if (store != nullptr) store->remove(cell_index, replicate);
         continue;
       }
     }
@@ -203,6 +227,29 @@ SweepSummary Runner::run(const Scenario& scenario) const {
     }
     gate.acquire(cell.mem_hint_bytes);
     try {
+      const std::uint64_t seed =
+          replicate_seed(scenario.master_seed, stream, replicate);
+      // Restore-or-fresh + cadence wiring for the durable snapshot slot.
+      // try_load happens inside the task (not the partition loop): it
+      // reads a payload proportional to the cell's n, and the pool
+      // parallelizes that the same way it parallelizes the replicates.
+      std::string resume_payload;
+      sim::CheckpointPolicy policy;
+      if (store != nullptr) {
+        if (auto snapshot = store->try_load(cell_index, replicate, seed)) {
+          resume_payload = std::move(snapshot->payload);
+          static const auto c_restored =
+              obs::counter("runner.snapshot_restored");
+          obs::add(c_restored);
+        }
+        policy.every_ticks = options_.snapshot_every_ticks;
+        policy.every_seconds = options_.snapshot_every_seconds;
+        SnapshotStore* slot_store = store.get();
+        policy.persist = [slot_store, cell_index, replicate, seed](
+                             std::string_view payload, std::uint64_t ticks) {
+          slot_store->save(cell_index, replicate, seed, ticks, payload);
+        };
+      }
       // Envelope timestamps bracket the replicate Span's lifetime (not
       // the reverse), so the derived per-cell envelope always encloses
       // its replicates' spans in the exported trace.
@@ -211,8 +258,7 @@ SweepSummary Runner::run(const Scenario& scenario) const {
         obs::Span span("replicate", "cell",
                        static_cast<std::int64_t>(cell_index), "replicate",
                        replicate);
-        results[task] = run_replicate(
-            cell, replicate_seed(scenario.master_seed, stream, replicate));
+        results[task] = run_replicate(cell, seed, policy, resume_payload);
       }
       if (trace_tasks) task_times[index][1] = obs::now_ns();
     } catch (...) {
@@ -229,6 +275,11 @@ SweepSummary Runner::run(const Scenario& scenario) const {
       options_.progress(cell, cell_index, replicate, results[task]);
     }
     have[task] = 1;
+    // Snapshot cleanup only AFTER the result is held (and, when a progress
+    // sink is wired, persisted): a crash between the progress throw above
+    // and here keeps the snapshot, so the replicate resumes instead of
+    // restarting.
+    if (store != nullptr) store->remove(cell_index, replicate);
     if (options_.heartbeat != nullptr) options_.heartbeat->note_done();
   });
   const std::chrono::duration<double> elapsed =

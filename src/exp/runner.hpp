@@ -22,6 +22,7 @@
 
 #include "exp/checkpoint.hpp"
 #include "exp/scenario.hpp"
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 
 namespace geogossip::obs {
@@ -141,6 +142,23 @@ struct RunnerOptions {
   /// re-ingested checkpoint records, so heartbeat files show real
   /// progress, not just process liveness.
   obs::Heartbeat* heartbeat = nullptr;
+  /// Directory for durable MID-replicate snapshots (empty = disabled).
+  /// With a cadence below, each running replicate periodically persists
+  /// its full trajectory state through a SnapshotStore keyed on
+  /// (scenario, master_seed, cell_index, replicate); a later run with the
+  /// same options restores interrupted replicates mid-flight and finishes
+  /// them bit-identically to an uninterrupted run (snapshots are pure
+  /// reads of run state, so enabling them never changes results).  A
+  /// replicate's snapshot is deleted once its result is durable — either
+  /// persisted via `progress` or re-ingested from `resume_from`.  Probe
+  /// cells (Cell::trial) run uncheckpointed: they are short, self-contained
+  /// measurements with no engine state to persist.
+  std::string snapshot_dir;
+  /// Snapshot every N engine ticks (round-based protocols: top rounds);
+  /// 0 = no tick cadence.
+  std::uint64_t snapshot_every_ticks = 0;
+  /// Snapshot every this many wall-clock seconds; 0 = no wall cadence.
+  double snapshot_every_seconds = 0.0;
 };
 
 class Runner {
@@ -163,6 +181,16 @@ class Runner {
 /// fresh Rng(seed), centre/normalize, and execute the cell's protocol.
 /// Exposed for tests and custom drivers.
 ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed);
+
+/// Checkpoint-aware variant: `checkpoints` snapshots the trial mid-flight
+/// at the policy's cadence and a non-empty `resume` payload continues a
+/// snapshotted trial of the same (cell, seed) bit-identically.  Probe
+/// cells ignore both (no engine state).  Exposed for tests and custom
+/// drivers; Runner::run wires it to a SnapshotStore when
+/// RunnerOptions::snapshot_dir is set.
+ReplicateResult run_replicate(const Cell& cell, std::uint64_t seed,
+                              const sim::CheckpointPolicy& checkpoints,
+                              std::string_view resume);
 
 /// Sorted union of metric keys across the cells of a summary — the column
 /// set used by both the console metrics table and the CSV sink.

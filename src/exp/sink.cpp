@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "exp/schema.hpp"
 #include "obs/telemetry.hpp"
 #include "support/check.hpp"
 
@@ -203,6 +204,7 @@ void JsonLinesSink::write_replicate(const std::string& scenario,
                  replicate);
   std::ostream& out = *out_;
   out << "{\"record\":\"replicate\""
+      << ",\"schema\":" << kSchemaVersion
       << ",\"scenario\":\"" << json_escape(scenario) << "\""
       << ",\"master_seed\":" << master_seed
       << ",\"cell\":\"" << json_escape(cell.label) << "\""

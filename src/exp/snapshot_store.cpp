@@ -1,0 +1,171 @@
+#include "exp/snapshot_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "exp/schema.hpp"
+#include "obs/telemetry.hpp"
+#include "support/check.hpp"
+#include "support/logging.hpp"
+#include "support/snapshot.hpp"
+
+namespace geogossip::exp {
+
+namespace {
+
+/// Leading file magic; also carries the container revision so a future
+/// layout change is caught before any field is decoded.
+constexpr std::string_view kMagic = "GGSNAP1\n";
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir, std::string scenario,
+                             std::uint64_t master_seed)
+    : dir_(std::move(dir)),
+      scenario_(std::move(scenario)),
+      master_seed_(master_seed) {
+  GG_CHECK_ARG(!dir_.empty(), "SnapshotStore: dir must be non-empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw IoError("SnapshotStore: cannot create '" + dir_ +
+                  "': " + ec.message());
+  }
+}
+
+std::string SnapshotStore::path_for(std::size_t cell_index,
+                                    std::uint32_t replicate) const {
+  return dir_ + "/snap-c" + std::to_string(cell_index) + "-r" +
+         std::to_string(replicate) + ".ggsnap";
+}
+
+void SnapshotStore::save(std::size_t cell_index, std::uint32_t replicate,
+                         std::uint64_t seed, std::uint64_t ticks,
+                         std::string_view payload) const {
+  obs::Span span("snapshot_write", "cell",
+                 static_cast<std::int64_t>(cell_index), "ticks",
+                 static_cast<std::int64_t>(ticks));
+
+  SnapshotWriter w;
+  w.u32(kSchemaVersion);
+  w.str(scenario_);
+  w.u64(master_seed_);
+  w.u64(static_cast<std::uint64_t>(cell_index));
+  w.u32(replicate);
+  w.u64(seed);
+  w.u64(ticks);
+  w.u64(fnv1a64(payload));
+  w.str(payload);
+
+  const std::string path = path_for(cell_index, replicate);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw IoError("SnapshotStore: cannot open '" + tmp + "' for writing");
+  }
+  bool ok =
+      std::fwrite(kMagic.data(), 1, kMagic.size(), file) == kMagic.size() &&
+      std::fwrite(w.bytes().data(), 1, w.bytes().size(), file) ==
+          w.bytes().size() &&
+      std::fflush(file) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // The rename below only orders the DIRECTORY entry; without an fsync the
+  // flipped-in file could still lose its bytes to a power cut.
+  ok = ok && ::fsync(::fileno(file)) == 0;
+#endif
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw IoError("SnapshotStore: write to '" + tmp + "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError("SnapshotStore: rename to '" + path +
+                  "' failed: " + ec.message());
+  }
+}
+
+std::optional<LoadedSnapshot> SnapshotStore::try_load(
+    std::size_t cell_index, std::uint32_t replicate,
+    std::uint64_t seed) const {
+  const std::string path = path_for(cell_index, replicate);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;  // no snapshot: fresh run
+
+  obs::Span span("snapshot_restore", "cell",
+                 static_cast<std::int64_t>(cell_index), "replicate",
+                 replicate);
+  const std::string bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  if (bytes.size() < kMagic.size() ||
+      std::string_view(bytes).substr(0, kMagic.size()) != kMagic) {
+    log_warn("snapshot '", path,
+             "': bad magic (torn or foreign file) — replicate restarts");
+    return std::nullopt;
+  }
+  try {
+    SnapshotReader r(std::string_view(bytes).substr(kMagic.size()));
+    const std::uint32_t schema = r.u32();
+    if (schema != kSchemaVersion) {
+      throw ArgumentError(
+          "SnapshotStore: '" + path + "' carries schema " +
+          std::to_string(schema) + " but this build writes schema " +
+          std::to_string(kSchemaVersion) +
+          " — refusing to restore a layout this code cannot interpret");
+    }
+    const std::string scenario = r.str();
+    const std::uint64_t master_seed = r.u64();
+    const std::uint64_t file_cell = r.u64();
+    const std::uint32_t file_replicate = r.u32();
+    const std::uint64_t file_seed = r.u64();
+    if (scenario != scenario_ || master_seed != master_seed_ ||
+        file_cell != cell_index || file_replicate != replicate ||
+        file_seed != seed) {
+      throw ArgumentError(
+          "SnapshotStore: '" + path + "' identifies as (" + scenario +
+          ", seed " + std::to_string(master_seed) + ", cell " +
+          std::to_string(file_cell) + ", replicate " +
+          std::to_string(file_replicate) + ", replicate-seed " +
+          std::to_string(file_seed) +
+          ") — not this sweep's slot; restoring it would poison the run");
+    }
+    LoadedSnapshot snapshot;
+    snapshot.ticks = r.u64();
+    const std::uint64_t checksum = r.u64();
+    snapshot.payload = r.str();
+    r.finish();
+    if (fnv1a64(snapshot.payload) != checksum) {
+      log_warn("snapshot '", path,
+               "': payload checksum mismatch — replicate restarts");
+      return std::nullopt;
+    }
+    return snapshot;
+  } catch (const IoError&) {
+    // Truncation mid-field: crash debris from a pre-rename writer on a
+    // filesystem without atomic-rename guarantees.  Re-run, don't fail.
+    log_warn("snapshot '", path, "': truncated — replicate restarts");
+    return std::nullopt;
+  }
+}
+
+void SnapshotStore::remove(std::size_t cell_index,
+                           std::uint32_t replicate) const noexcept {
+  const std::string path = path_for(cell_index, replicate);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    log_warn("snapshot '", path, "': cleanup failed: ", ec.message());
+  }
+  std::filesystem::remove(path + ".tmp", ec);
+}
+
+}  // namespace geogossip::exp

@@ -4,6 +4,7 @@
 
 #include "obs/telemetry.hpp"
 #include "support/check.hpp"
+#include "support/snapshot.hpp"
 
 namespace geogossip::gossip {
 
@@ -99,6 +100,36 @@ void ValueProtocol::set_value(graph::NodeId node, double value) {
   tracker_.update(x_[node], value);
   x_[node] = value;
   note_updates(1);
+}
+
+void ValueProtocol::snapshot(SnapshotWriter& w) const {
+  w.str(name());
+  w.f64_span(x_);
+  tracker_.save(w);
+  w.u64(refresh_interval_);
+  w.u64(updates_since_refresh_);
+  w.u64(refreshes_);
+  const auto& tx = meter_.snapshot();
+  for (const auto count : tx.by_category) w.u64(count);
+  snapshot_scratch(w);
+}
+
+void ValueProtocol::restore(SnapshotReader& r) {
+  const std::string snap_name = r.str();
+  GG_CHECK_ARG(snap_name == name(),
+               "ValueProtocol::restore: snapshot is for protocol '" +
+                   snap_name + "', not '" + std::string(name()) + "'");
+  r.f64_span_into(x_);
+  tracker_.restore(r);
+  GG_CHECK_ARG(tracker_.size() == x_.size(),
+               "ValueProtocol::restore: tracker size mismatch");
+  refresh_interval_ = r.u64();
+  updates_since_refresh_ = r.u64();
+  refreshes_ = r.u64();
+  sim::TxSnapshot tx;
+  for (auto& count : tx.by_category) count = r.u64();
+  meter_.restore(tx);
+  restore_scratch(r);
 }
 
 }  // namespace geogossip::gossip

@@ -53,7 +53,19 @@ class ValueProtocol : public sim::GossipProtocol {
   /// Exact refreshes performed so far (cadence observability for tests).
   std::uint64_t tracker_refreshes() const noexcept { return refreshes_; }
 
+  /// Snapshot/Restore contract (sim::GossipProtocol): the base serializes
+  /// the values, the deviation tracker (compensated sums + refresh phase)
+  /// and the transmission meter; families append their trajectory scratch
+  /// via snapshot_scratch()/restore_scratch().
+  bool snapshot_supported() const override { return true; }
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
+
  protected:
+  /// Family-specific trajectory state beyond the base fields (exchange
+  /// counters, per-node protocol state).  Defaults: nothing extra.
+  virtual void snapshot_scratch(SnapshotWriter& w) const { (void)w; }
+  virtual void restore_scratch(SnapshotReader& r) { (void)r; }
   /// Read access; writes must go through the update API below.
   double value(graph::NodeId node) const { return x_[node]; }
 

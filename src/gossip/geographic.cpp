@@ -7,6 +7,7 @@
 #include "obs/telemetry.hpp"
 #include "routing/greedy.hpp"
 #include "support/check.hpp"
+#include "support/snapshot.hpp"
 
 namespace geogossip::gossip {
 
@@ -227,6 +228,18 @@ void GeographicGossip::on_tick(const sim::Tick& tick) {
   apply_pair_average(source, target);
   ++exchanges_;
   count_exchange();
+}
+
+void GeographicGossip::snapshot_scratch(SnapshotWriter& w) const {
+  w.u64(exchanges_);
+  w.u64(rejections_);
+  w.u64(failed_routes_);
+}
+
+void GeographicGossip::restore_scratch(SnapshotReader& r) {
+  exchanges_ = r.u64();
+  rejections_ = r.u64();
+  failed_routes_ = r.u64();
 }
 
 }  // namespace geogossip::gossip

@@ -58,6 +58,13 @@ class GeographicGossip final : public ValueProtocol {
   /// (hops are charged to the meter).
   graph::NodeId sample_target(graph::NodeId source);
 
+ protected:
+  /// The acceptance table is NOT serialized: it is a deterministic function
+  /// of (graph, seed) recomputed by the constructor, and restore() runs on
+  /// a freshly constructed protocol of the identical configuration.
+  void snapshot_scratch(SnapshotWriter& w) const override;
+  void restore_scratch(SnapshotReader& r) override;
+
  private:
   void estimate_acceptance();
 

@@ -1,5 +1,7 @@
 #include "gossip/pairwise.hpp"
 
+#include "support/snapshot.hpp"
+
 namespace geogossip::gossip {
 
 PairwiseGossip::PairwiseGossip(const graph::GeometricGraph& graph,
@@ -15,6 +17,14 @@ void PairwiseGossip::on_tick(const sim::Tick& tick) {
   const graph::NodeId peer = neighbors[rng_->below(neighbors.size())];
   apply_pair_average(tick.node, peer);
   meter_.add(sim::TxCategory::kLocal, 2);  // value out + value back
+}
+
+void PairwiseGossip::snapshot_scratch(SnapshotWriter& w) const {
+  w.u64(isolated_ticks_);
+}
+
+void PairwiseGossip::restore_scratch(SnapshotReader& r) {
+  isolated_ticks_ = r.u64();
 }
 
 }  // namespace geogossip::gossip

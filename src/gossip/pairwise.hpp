@@ -23,6 +23,10 @@ class PairwiseGossip final : public ValueProtocol {
   /// Ticks at isolated nodes (degree 0) — skipped exchanges.
   std::uint64_t isolated_ticks() const noexcept { return isolated_ticks_; }
 
+ protected:
+  void snapshot_scratch(SnapshotWriter& w) const override;
+  void restore_scratch(SnapshotReader& r) override;
+
  private:
   std::uint64_t isolated_ticks_ = 0;
 };

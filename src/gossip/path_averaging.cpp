@@ -1,6 +1,7 @@
 #include "gossip/path_averaging.hpp"
 
 #include "routing/greedy.hpp"
+#include "support/snapshot.hpp"
 
 namespace geogossip::gossip {
 
@@ -39,6 +40,16 @@ double PathAveragingGossip::mean_path_length() const noexcept {
   return rounds_ == 0 ? 0.0
                       : static_cast<double>(total_path_nodes_) /
                             static_cast<double>(rounds_);
+}
+
+void PathAveragingGossip::snapshot_scratch(SnapshotWriter& w) const {
+  w.u64(rounds_);
+  w.u64(total_path_nodes_);
+}
+
+void PathAveragingGossip::restore_scratch(SnapshotReader& r) {
+  rounds_ = r.u64();
+  total_path_nodes_ = r.u64();
 }
 
 }  // namespace geogossip::gossip

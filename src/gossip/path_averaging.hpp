@@ -30,7 +30,13 @@ class PathAveragingGossip final : public ValueProtocol {
   std::uint64_t rounds() const noexcept { return rounds_; }
   double mean_path_length() const noexcept;
 
+ protected:
+  void snapshot_scratch(SnapshotWriter& w) const override;
+  void restore_scratch(SnapshotReader& r) override;
+
  private:
+  /// Per-tick route buffer; cleared before each use, so it is transient
+  /// and stays out of the snapshot.
   std::vector<graph::NodeId> scratch_path_;
   std::uint64_t rounds_ = 0;
   std::uint64_t total_path_nodes_ = 0;

@@ -32,6 +32,14 @@ class AsyncClock {
   std::uint64_t ticks_elapsed() const noexcept { return ticks_; }
   std::uint32_t node_count() const noexcept { return n_; }
 
+  /// Places the clock at a snapshotted stream position.  The RNG is
+  /// restored separately; together they make the next() stream continue
+  /// exactly where the snapshotted run left off.
+  void restore(double now, std::uint64_t ticks) noexcept {
+    now_ = now;
+    ticks_ = ticks;
+  }
+
  private:
   std::uint32_t n_;
   Rng* rng_;

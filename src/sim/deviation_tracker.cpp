@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/snapshot.hpp"
+
 namespace geogossip::sim {
 
 void DeviationTracker::reset(std::span<const double> values) {
@@ -32,6 +34,26 @@ double DeviationTracker::deviation_sq() const noexcept {
 
 double DeviationTracker::sum() const noexcept {
   return shift_ * static_cast<double>(n_) + sum_dev_.value();
+}
+
+void DeviationTracker::save(SnapshotWriter& w) const {
+  w.u64(n_);
+  w.f64(shift_);
+  w.f64(sum_dev_.raw_sum());
+  w.f64(sum_dev_.raw_compensation());
+  w.f64(sum_dev_sq_.raw_sum());
+  w.f64(sum_dev_sq_.raw_compensation());
+}
+
+void DeviationTracker::restore(SnapshotReader& r) {
+  n_ = static_cast<std::size_t>(r.u64());
+  shift_ = r.f64();
+  const double s1 = r.f64();
+  const double c1 = r.f64();
+  sum_dev_.restore(s1, c1);
+  const double s2 = r.f64();
+  const double c2 = r.f64();
+  sum_dev_sq_.restore(s2, c2);
 }
 
 }  // namespace geogossip::sim

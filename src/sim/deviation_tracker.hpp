@@ -23,6 +23,11 @@
 
 #include "support/neumaier.hpp"
 
+namespace geogossip {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace geogossip
+
 namespace geogossip::sim {
 
 class DeviationTracker {
@@ -72,6 +77,14 @@ class DeviationTracker {
   double sum() const noexcept;
 
   std::size_t size() const noexcept { return n_; }
+
+  /// Serializes n, the frozen shift and both compensated sums (raw sum +
+  /// compensation each) so a restored tracker continues the exact rounding
+  /// trajectory of the snapshotted one — reset()-ing from the restored
+  /// values instead would erase accumulated residue and break bit-identical
+  /// resume.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   std::size_t n_ = 0;

@@ -4,6 +4,7 @@
 #define GEOGOSSIP_SIM_ENGINE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -12,6 +13,11 @@
 
 #include "sim/clock.hpp"
 #include "sim/metrics.hpp"
+
+namespace geogossip {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace geogossip
 
 namespace geogossip::sim {
 
@@ -37,6 +43,43 @@ class GossipProtocol {
   /// true from tracks_deviation() so the engine can check every tick.
   virtual double deviation_sq() const;
   virtual bool tracks_deviation() const { return false; }
+
+  /// Snapshot/Restore contract (mid-replicate durability).  snapshot()
+  /// serializes every field that affects the remaining trajectory;
+  /// restore() is called on a FRESHLY CONSTRUCTED protocol of the identical
+  /// configuration (same graph, x0 and RNG seed — construction-time
+  /// randomness is deterministic per seed) and overwrites that state, after
+  /// which the run continues bit-identically once the engine clock and the
+  /// RNG are restored alongside.  The defaults refuse: a protocol must opt
+  /// in by overriding all three, so a family that grows trajectory state
+  /// without serializing it fails loudly instead of resuming subtly wrong.
+  virtual bool snapshot_supported() const { return false; }
+  virtual void snapshot(SnapshotWriter& w) const;
+  virtual void restore(SnapshotReader& r);
+};
+
+/// Mid-run checkpoint cadence for run_to_epsilon.  Snapshots are pure
+/// reads of the run state — taking one never perturbs the trajectory — so
+/// enabling checkpoints cannot change results.  persist() receives the
+/// serialized engine+RNG+protocol payload; a throw from it propagates (a
+/// checkpoint that cannot be written is an environment failure, mirroring
+/// the sink's flush-check-throw policy).
+struct CheckpointPolicy {
+  /// Snapshot every N engine ticks (round-based protocols: every N top
+  /// rounds).  0 = no tick cadence.
+  std::uint64_t every_ticks = 0;
+  /// Snapshot when this much wall time passed since the previous snapshot
+  /// (or the run start).  0 = no wall cadence.
+  double every_seconds = 0.0;
+  /// The wall clock is polled only every `wall_poll_ticks` ticks so the
+  /// per-tick hot path stays free of clock syscalls.
+  std::uint64_t wall_poll_ticks = 8192;
+  std::function<void(std::string_view payload, std::uint64_t ticks)> persist;
+
+  bool enabled() const noexcept {
+    return static_cast<bool>(persist) &&
+           (every_ticks > 0 || every_seconds > 0.0);
+  }
 };
 
 struct RunConfig {
@@ -79,6 +122,17 @@ double deviation_norm(std::span<const double> values);
 /// tick budget.  Requires config.max_ticks > 0.
 RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
                          const RunConfig& config);
+
+/// Checkpoint-aware variant.  With a non-empty `resume` payload (produced
+/// by an earlier CheckpointPolicy::persist of the same run configuration)
+/// the engine restores the clock, the RNG and the protocol to the
+/// snapshotted tick and continues; the completed run is bit-identical to
+/// an uninterrupted one.  The payload self-identifies (protocol name, n)
+/// and restore fails loudly on any mismatch or truncation.
+RunResult run_to_epsilon(GossipProtocol& protocol, Rng& rng,
+                         const RunConfig& config,
+                         const CheckpointPolicy& checkpoints,
+                         std::string_view resume);
 
 }  // namespace geogossip::sim
 

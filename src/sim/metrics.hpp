@@ -46,6 +46,9 @@ class TxMeter {
   const TxSnapshot& snapshot() const noexcept { return snapshot_; }
   std::uint64_t total() const noexcept { return snapshot_.total(); }
   void reset() noexcept { snapshot_ = TxSnapshot{}; }
+  /// Overwrites the counters with a snapshotted state (mid-replicate
+  /// checkpoint restore); continuation accumulates on top.
+  void restore(const TxSnapshot& snapshot) noexcept { snapshot_ = snapshot; }
 
  private:
   TxSnapshot snapshot_;

@@ -37,6 +37,16 @@ class NeumaierSum {
     compensation_ = 0.0;
   }
 
+  /// Raw (sum, compensation) pair for exact serialization: a restored sum
+  /// must continue the SAME rounding trajectory, so the compensation term
+  /// is state, not an implementation detail.
+  double raw_sum() const noexcept { return sum_; }
+  double raw_compensation() const noexcept { return compensation_; }
+  void restore(double sum, double compensation) noexcept {
+    sum_ = sum;
+    compensation_ = compensation;
+  }
+
  private:
   double sum_ = 0.0;
   double compensation_ = 0.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/snapshot.hpp"
 
 namespace geogossip {
 
@@ -169,6 +170,18 @@ std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
   }
   shuffle(chosen);
   return chosen;
+}
+
+void Rng::save(SnapshotWriter& w) const {
+  for (const std::uint64_t word : state_) w.u64(word);
+  w.f64(spare_normal_);
+  w.u8(has_spare_normal_ ? 1 : 0);
+}
+
+void Rng::restore(SnapshotReader& r) {
+  for (std::uint64_t& word : state_) word = r.u64();
+  spare_normal_ = r.f64();
+  has_spare_normal_ = r.u8() != 0;
 }
 
 }  // namespace geogossip

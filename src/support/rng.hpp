@@ -14,6 +14,9 @@
 
 namespace geogossip {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// SplitMix64 step; used for seeding and for cheap hash-style mixing.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
@@ -86,6 +89,14 @@ class Rng {
 
   /// Re-seeds the engine in place.
   void reseed(std::uint64_t seed) noexcept;
+
+  /// Exact stream-position save/restore: serializes the xoshiro256** state
+  /// words AND the Marsaglia polar spare (a cached normal() draw is part of
+  /// the stream position — dropping it would shift every draw after the
+  /// next normal()).  restore() continues the stream bit-identically; it is
+  /// NOT a reseed.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   std::array<std::uint64_t, 4> state_{};

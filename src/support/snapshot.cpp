@@ -1,0 +1,157 @@
+#include "support/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace geogossip {
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void SnapshotWriter::u8(std::uint8_t value) {
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void SnapshotWriter::u32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void SnapshotWriter::u64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void SnapshotWriter::f64(double value) {
+  u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void SnapshotWriter::str(std::string_view value) {
+  u64(value.size());
+  buffer_.append(value.data(), value.size());
+}
+
+void SnapshotWriter::u8_span(std::span<const std::uint8_t> values) {
+  u64(values.size());
+  for (const auto v : values) u8(v);
+}
+
+void SnapshotWriter::u32_span(std::span<const std::uint32_t> values) {
+  u64(values.size());
+  for (const auto v : values) u32(v);
+}
+
+void SnapshotWriter::f64_span(std::span<const double> values) {
+  u64(values.size());
+  for (const auto v : values) f64(v);
+}
+
+const char* SnapshotReader::take(std::size_t count) {
+  if (count > data_.size() - pos_ || pos_ > data_.size()) {
+    throw IoError("SnapshotReader: truncated snapshot (need " +
+                  std::to_string(count) + " bytes at offset " +
+                  std::to_string(pos_) + " of " +
+                  std::to_string(data_.size()) + ")");
+  }
+  const char* out = data_.data() + pos_;
+  pos_ += count;
+  return out;
+}
+
+std::uint8_t SnapshotReader::u8() {
+  return static_cast<std::uint8_t>(*take(1));
+}
+
+std::uint32_t SnapshotReader::u32() {
+  const char* p = take(4);
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  const char* p = take(8);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string SnapshotReader::str() {
+  const std::uint64_t size = u64();
+  // Guard the length prefix before allocating: a torn length field must
+  // throw, not attempt a multi-exabyte reservation.
+  if (size > data_.size() - pos_) {
+    throw IoError("SnapshotReader: truncated snapshot string (length " +
+                  std::to_string(size) + " at offset " +
+                  std::to_string(pos_) + ")");
+  }
+  const char* p = take(static_cast<std::size_t>(size));
+  return std::string(p, static_cast<std::size_t>(size));
+}
+
+std::vector<std::uint8_t> SnapshotReader::u8_span() {
+  const std::uint64_t count = u64();
+  if (count > data_.size() - pos_) {
+    throw IoError("SnapshotReader: truncated u8 span");
+  }
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(count));
+  for (auto& v : out) v = u8();
+  return out;
+}
+
+std::vector<std::uint32_t> SnapshotReader::u32_span() {
+  const std::uint64_t count = u64();
+  if (count > (data_.size() - pos_) / 4) {
+    throw IoError("SnapshotReader: truncated u32 span");
+  }
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(count));
+  for (auto& v : out) v = u32();
+  return out;
+}
+
+std::vector<double> SnapshotReader::f64_span() {
+  const std::uint64_t count = u64();
+  if (count > (data_.size() - pos_) / 8) {
+    throw IoError("SnapshotReader: truncated f64 span");
+  }
+  std::vector<double> out(static_cast<std::size_t>(count));
+  for (auto& v : out) v = f64();
+  return out;
+}
+
+void SnapshotReader::f64_span_into(std::span<double> out) {
+  const std::uint64_t count = u64();
+  GG_CHECK_ARG(count == out.size(),
+               "SnapshotReader: span size mismatch (snapshot holds " +
+                   std::to_string(count) + ", restore target holds " +
+                   std::to_string(out.size()) + ")");
+  for (auto& v : out) v = f64();
+}
+
+void SnapshotReader::finish() const {
+  if (!at_end()) {
+    throw IoError("SnapshotReader: " +
+                  std::to_string(data_.size() - pos_) +
+                  " trailing bytes after the last restore section");
+  }
+}
+
+}  // namespace geogossip

@@ -1,0 +1,76 @@
+// Binary snapshot serialization for the Snapshot/Restore protocol API.
+//
+// Mid-replicate checkpoints persist the exact trajectory state of a run —
+// value vectors, compensated tracker sums, RNG engine words, counters — so
+// a restored run must continue bit-identically.  That rules out text
+// round-trips: doubles travel as their IEEE-754 bit patterns and integers
+// as fixed-width little-endian words.  SnapshotReader is bounds-checked
+// and throws IoError on any overrun, so a truncated or torn snapshot file
+// fails loudly at the first missing byte instead of restoring invented
+// state.
+#ifndef GEOGOSSIP_SUPPORT_SNAPSHOT_HPP
+#define GEOGOSSIP_SUPPORT_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geogossip {
+
+/// FNV-1a 64-bit hash; the snapshot file checksum.
+std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  /// IEEE-754 bit pattern; exact round-trip including NaN payloads.
+  void f64(double value);
+  /// Length-prefixed byte string.
+  void str(std::string_view value);
+  /// Length-prefixed spans (element count, then packed elements).
+  void u8_span(std::span<const std::uint8_t> values);
+  void u32_span(std::span<const std::uint32_t> values);
+  void f64_span(std::span<const double> values);
+
+  const std::string& bytes() const noexcept { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<std::uint8_t> u8_span();
+  std::vector<std::uint32_t> u32_span();
+  std::vector<double> f64_span();
+  /// Reads a span whose element count must equal `expected` (the restore
+  /// target's size is fixed by the run configuration; a mismatch means the
+  /// snapshot belongs to a different run).
+  void f64_span_into(std::span<double> out);
+
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+  /// Restore sections must consume their payload exactly; trailing bytes
+  /// mean the snapshot and the code disagree about the layout.
+  void finish() const;
+
+ private:
+  const char* take(std::size_t count);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace geogossip
+
+#endif  // GEOGOSSIP_SUPPORT_SNAPSHOT_HPP

@@ -23,6 +23,8 @@ Tolerance policy (mirrors src/exp/checkpoint.cpp):
   - duplicate key, CONFLICTING payload: hard error (exit 1)
   - records from more than one (scenario, master_seed): hard error unless
     --scenario/--master-seed select one sweep to extract
+  - a "schema" stamp other than this tool's SCHEMA_VERSION: hard error
+    (stampless legacy records are schema 1 and accepted)
 
 Completeness: --expect-cells C and --expect-replicates R check that every
 (cell_index < C, replicate < R) pair is present; missing pairs are an
@@ -39,6 +41,15 @@ import json
 import sys
 import tempfile
 from pathlib import Path
+
+# Must match kSchemaVersion in src/exp/schema.hpp.  Records with no
+# "schema" key predate the field (schema 1) and are accepted; a PRESENT
+# but different stamp is a hard error, mirroring Checkpoint::load.
+SCHEMA_VERSION = 2
+
+
+class SchemaMismatch(Exception):
+    """A record stamped with a schema this tool cannot interpret."""
 
 
 def parse_file(path, stats, warn):
@@ -66,6 +77,13 @@ def parse_file(path, stats, warn):
         if not isinstance(record, dict) or record.get("record") != "replicate":
             stats["other"] += 1
             return None
+        schema = record.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise SchemaMismatch(
+                f"{path}:{lineno}: record carries schema {schema} but this "
+                f"tool understands schema {SCHEMA_VERSION} — refusing to "
+                "merge records this version cannot interpret"
+            )
         try:
             key = (
                 record["scenario"],
@@ -118,7 +136,12 @@ def merge(paths, args, out, err):
 
     merged = {}
     for path in paths:
-        for key, record, raw in parse_file(path, stats, warn):
+        try:
+            records = list(parse_file(path, stats, warn))
+        except SchemaMismatch as mismatch:
+            print(f"error: {mismatch}", file=err)
+            return 1
+        for key, record, raw in records:
             identity = key[:2]
             if wanted is None:
                 wanted = identity  # first record pins the sweep identity
@@ -295,6 +318,19 @@ def self_test():
     conflict = _record(0, 0, value=2.0) + b"\n"
     code, _, err = _run([], [dup, conflict])
     check("conflict_errors", code == 1 and "conflicting" in err)
+
+    # Schema stamps: the current version and stampless legacy records are
+    # accepted; a foreign stamp is a hard error, never a silent skip.
+    stamped = json.loads(_record(0, 0))
+    stamped["schema"] = SCHEMA_VERSION
+    code, merged, _ = _run(
+        [], [json.dumps(stamped).encode() + b"\n" + _record(0, 1) + b"\n"]
+    )
+    check("schema_current_and_legacy", code == 0
+          and len(merged.splitlines()) == 2)
+    stamped["schema"] = SCHEMA_VERSION + 1
+    code, _, err = _run([], [json.dumps(stamped).encode() + b"\n"])
+    check("schema_mismatch_errors", code == 1 and "schema" in err)
 
     # Torn tail tolerated; a tail missing only its newline is a complete
     # record and is kept (same policy as Checkpoint::load); interior
