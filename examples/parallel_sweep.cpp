@@ -35,6 +35,17 @@
 // restores those replicates at the snapshotted tick and finishes them
 // bit-identically to an uninterrupted run.
 //
+// Fleet mode automates the sharding: workers on any machines sharing a
+// filesystem coordinate through one directory (leased batches, dead-lease
+// stealing, snapshot-aware reassignment — see src/fleet/):
+//
+//   # same command on every machine; first founds the plan, rest adopt
+//   parallel_sweep --scenario=e5-scaling-xl --fleet-dir=/shared/fleet
+//       --fleet-batches=32 --fleet-ttl=60 --snapshot-every=300s
+//   python3 tools/fleet_status.py /shared/fleet      # live board
+//   parallel_sweep --scenario=e5-scaling-xl --fleet-dir=/shared/fleet
+//       --fleet-merge --csv=xl.csv                   # final tables
+//
 // The registry covers every experiment E1-E11: protocol sweeps (E5, E10,
 // E11) and measurement probes (E1-E4, E6-E9), each with a -quick preset
 // sized for CI smoke runs (probes also register a -paper preset).

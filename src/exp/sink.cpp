@@ -8,6 +8,7 @@
 #include "exp/schema.hpp"
 #include "obs/telemetry.hpp"
 #include "support/check.hpp"
+#include "support/retry.hpp"
 
 namespace geogossip::exp {
 
@@ -241,17 +242,28 @@ void JsonLinesSink::write_replicate(const std::string& scenario,
   }
   out << "}\n";
   // Flush per record, not per sweep: an interrupted XL run keeps every
-  // finished replicate — the raw material for resumable sweeps.  A failed
-  // stream after the flush (disk full, revoked mount) must throw so the
-  // Runner never marks this replicate complete without its record on disk.
-  out.flush();
-  if (!out.good()) {
-    throw IoError(
-        "JsonLinesSink::write_replicate: stream failed while persisting "
-        "cell_index " +
-        std::to_string(cell_index) + " replicate " +
-        std::to_string(replicate));
-  }
+  // finished replicate — the raw material for resumable sweeps.  A
+  // recoverable flush hiccup (failbit: a shared-filesystem blip) is
+  // retried with backoff so it cannot kill an hours-long sweep, but
+  // badbit is fatal on the spot: the stream lost data (disk full, device
+  // gone), the buffered line cannot be re-emitted atomically into an
+  // append stream, and the Runner must never mark a replicate complete
+  // without its record on disk.
+  const std::string what =
+      "JsonLinesSink::write_replicate: persisting cell_index " +
+      std::to_string(cell_index) + " replicate " +
+      std::to_string(replicate);
+  retry_io(RetryPolicy{}, what, [&out, &what] {
+    out.flush();
+    if (out.good()) return true;
+    if (out.bad()) {
+      throw IoError(what +
+                    ": stream is bad (disk full or lost device) — the "
+                    "record cannot be made durable");
+    }
+    out.clear();  // failbit is sticky; the retried flush needs it off
+    return false;
+  });
 }
 
 void write_sinks(const SweepSummary& summary, const std::string& csv_path,

@@ -1,5 +1,6 @@
 #include "exp/snapshot_store.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -27,16 +28,40 @@ constexpr std::string_view kMagic = "GGSNAP1\n";
 }  // namespace
 
 SnapshotStore::SnapshotStore(std::string dir, std::string scenario,
-                             std::uint64_t master_seed)
+                             std::uint64_t master_seed,
+                             double stale_tmp_age_seconds)
     : dir_(std::move(dir)),
       scenario_(std::move(scenario)),
       master_seed_(master_seed) {
   GG_CHECK_ARG(!dir_.empty(), "SnapshotStore: dir must be non-empty");
+  GG_CHECK_ARG(stale_tmp_age_seconds >= 0.0,
+               "SnapshotStore: stale_tmp_age_seconds must be >= 0");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
     throw IoError("SnapshotStore: cannot create '" + dir_ +
                   "': " + ec.message());
+  }
+  // Sweep crash debris: a writer killed between fopen and rename leaves
+  // "<slot>.ggsnap.tmp" behind forever.  Age-gate the sweep so we never
+  // delete a sibling fleet worker's in-flight save.
+  const auto now = std::filesystem::file_time_type::clock::now();
+  const auto min_age = std::chrono::duration_cast<
+      std::filesystem::file_time_type::duration>(
+      std::chrono::duration<double>(stale_tmp_age_seconds));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".tmp") continue;
+    const auto mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    if (now - mtime < min_age) continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec)) {
+      obs::add(obs::counter("snapshot.stale_tmp_swept"), 1);
+      log_warn("SnapshotStore: swept stale temp file '",
+               entry.path().string(), "' (crashed writer debris)");
+    }
   }
 }
 
@@ -99,7 +124,19 @@ std::optional<LoadedSnapshot> SnapshotStore::try_load(
     std::uint64_t seed) const {
   const std::string path = path_for(cell_index, replicate);
   std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return std::nullopt;  // no snapshot: fresh run
+  if (!in.is_open()) {
+    // No committed snapshot — but an orphaned temp here means a writer
+    // died mid-save for this very slot; count it so fleets can tell "no
+    // snapshot cadence fired yet" apart from "the save itself was torn".
+    std::error_code ec;
+    if (std::filesystem::exists(path + ".tmp", ec)) {
+      obs::add(obs::counter("snapshot.orphan_tmp"), 1);
+      log_warn("snapshot '", path,
+               "': absent but an orphaned .tmp exists (writer died "
+               "mid-save) — replicate restarts from scratch");
+    }
+    return std::nullopt;  // no snapshot: fresh run
+  }
 
   obs::Span span("snapshot_restore", "cell",
                  static_cast<std::int64_t>(cell_index), "replicate",

@@ -35,8 +35,14 @@ struct LoadedSnapshot {
 class SnapshotStore {
  public:
   /// Creates `dir` (and parents) if absent; throws IoError on failure.
+  /// Also sweeps orphaned "*.tmp" debris left by crashed writers — but
+  /// only files older than `stale_tmp_age_seconds`, because in fleet mode
+  /// several workers share one snapshot directory and a fresh .tmp may be
+  /// another worker's in-flight save.  Pass 0 to sweep unconditionally
+  /// (single-writer directories, tests).
   SnapshotStore(std::string dir, std::string scenario,
-                std::uint64_t master_seed);
+                std::uint64_t master_seed,
+                double stale_tmp_age_seconds = 300.0);
 
   /// Atomically persists `payload` for the slot (write-new-then-flip; see
   /// file comment).  Throws IoError on any filesystem failure — a

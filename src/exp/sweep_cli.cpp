@@ -1,10 +1,19 @@
 #include "exp/sweep_cli.hpp"
 
+#include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <random>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "exp/sink.hpp"
+#include "fleet/lease.hpp"
+#include "fleet/plan.hpp"
+#include "fleet/worker.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
@@ -144,6 +153,26 @@ bool parse_snapshot_every(const std::string& spec, std::uint64_t* ticks,
   }
 }
 
+/// Default fleet worker id: "w<pid>-<hex>".  The pid alone collides when
+/// two hosts share the fleet filesystem; the random suffix (timing-only
+/// randomness — never from experiment seed streams) breaks the tie.
+std::string generated_worker_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  std::random_device rd;
+  const unsigned suffix = rd() & 0xFFFFu;
+  char hex[8];
+  std::snprintf(hex, sizeof(hex), "%04x", suffix);
+  std::string id = "w";
+  id += std::to_string(pid);
+  id += '-';
+  id += hex;
+  return id;
+}
+
 }  // namespace
 
 SweepCli::SweepCli(const std::string& program, const std::string& summary)
@@ -198,6 +227,34 @@ SweepCli::SweepCli(const std::string& program, const std::string& summary)
                    "for round-based protocols), Ns or bare N = every N "
                    "wall-clock seconds (default 30s when --snapshot-dir is "
                    "set)");
+  parser_.add_flag("fleet-dir", &fleet_dir_,
+                   "join a fleet coordinated through this shared directory: "
+                   "workers lease batches via atomic renames, renew a TTL "
+                   "while running, and reclaim expired leases of dead "
+                   "workers (resuming their mid-replicate snapshots).  "
+                   "Owns the output/resume/snapshot/heartbeat paths, so "
+                   "those flags conflict with it");
+  parser_.add_flag("fleet-batches", &fleet_batches_flag_,
+                   "batch count B when founding the fleet (batch b runs as "
+                   "shard b/B); must match the existing plan when joining. "
+                   "0 = adopt the plan already in --fleet-dir");
+  parser_.add_flag("fleet-ttl", &fleet_ttl_seconds_,
+                   "lease TTL in seconds (renewed every ttl/3); a lease "
+                   "silent past its TTL is reclaimed by any worker "
+                   "(default 30)");
+  parser_.add_flag("fleet-worker", &fleet_worker_,
+                   "stable worker id ([A-Za-z0-9_-]; default: generated "
+                   "from pid + random suffix).  Reusing a dead worker's id "
+                   "is safe; sharing one between LIVE workers is not");
+  parser_.add_flag("fleet-max-batches", &fleet_max_batches_flag_,
+                   "stop after completing this many batches (0 = run until "
+                   "the fleet is complete) — for preemptible or "
+                   "time-boxed workers");
+  parser_.add_flag("fleet-merge", &fleet_merge_,
+                   "run nothing: fold every record file in --fleet-dir, "
+                   "require full coverage, and emit the merged summaries "
+                   "(--csv/--json) — byte-identical to an uninterrupted "
+                   "single-process sweep");
 }
 
 std::optional<int> SweepCli::parse(int argc, char** argv) {
@@ -252,13 +309,60 @@ std::optional<int> SweepCli::parse(int argc, char** argv) {
                             &snapshot_every_seconds_)) {
     return 1;
   }
-  if (snapshot_dir_.empty() && !snapshot_every_spec_.empty()) {
-    std::cerr << "--snapshot-every needs --snapshot-dir\n";
+  if (snapshot_dir_.empty() && fleet_dir_.empty() &&
+      !snapshot_every_spec_.empty()) {
+    std::cerr << "--snapshot-every needs --snapshot-dir (or --fleet-dir)\n";
     return 1;
   }
   if (!snapshot_dir_.empty() && snapshot_every_ticks_ == 0 &&
       snapshot_every_seconds_ == 0.0) {
     snapshot_every_seconds_ = 30.0;  // documented default cadence
+  }
+
+  if (fleet_merge_ && fleet_dir_.empty()) {
+    std::cerr << "--fleet-merge needs --fleet-dir\n";
+    return 1;
+  }
+  if (!fleet_dir_.empty()) {
+    // The fleet directory owns sharding, resume, records, snapshots and
+    // heartbeats; accepting these flags alongside it would silently
+    // split the run's durable state across two layouts.
+    const auto conflict = [](const char* flag) {
+      std::cerr << flag << " conflicts with --fleet-dir: the fleet "
+                   "directory owns that concern (see README \"Fleet "
+                   "mode\")\n";
+      return 1;
+    };
+    if (!shard_spec_.empty()) return conflict("--shard");
+    if (!resume_spec_.empty()) return conflict("--resume");
+    if (merge_only_) return conflict("--merge-only (use --fleet-merge)");
+    if (!json_replicates_path_.empty()) return conflict("--json-replicates");
+    if (!snapshot_dir_.empty()) return conflict("--snapshot-dir");
+    if (!heartbeat_spec_.empty()) return conflict("--heartbeat");
+    if (!fleet_merge_) {
+      // Worker mode streams records into the fleet directory; summaries
+      // come from --fleet-merge afterwards.
+      if (!csv_path_.empty()) return conflict("--csv (merge emits it)");
+      if (!json_path_.empty()) return conflict("--json (merge emits it)");
+    }
+    if (fleet_batches_flag_ < 0 || fleet_batches_flag_ > 0xFFFFFFFFll) {
+      std::cerr << "--fleet-batches must be in [0, 2^32)\n";
+      return 1;
+    }
+    if (fleet_ttl_seconds_ <= 0.0) {
+      std::cerr << "--fleet-ttl must be positive seconds\n";
+      return 1;
+    }
+    if (fleet_max_batches_flag_ < 0) {
+      std::cerr << "--fleet-max-batches must be >= 0\n";
+      return 1;
+    }
+    if (fleet_worker_.empty()) {
+      fleet_worker_ = generated_worker_id();
+    } else if (!fleet::valid_owner(fleet_worker_)) {
+      std::cerr << "--fleet-worker must be non-empty [A-Za-z0-9_-]\n";
+      return 1;
+    }
   }
 
   if (!trace_path_.empty()) obs::set_enabled(true);
@@ -284,6 +388,11 @@ RunnerOptions SweepCli::base_options() const {
 
 int SweepCli::run(Scenario scenario, std::ostream& out) {
   apply_overrides(scenario);
+
+  if (fleet_mode()) {
+    return fleet_merge_ ? run_fleet_merge(scenario, out)
+                        : run_fleet_worker(scenario, out);
+  }
 
   // Per-shard output paths so k cooperating processes can share one
   // command line (identity when unsharded and no {shard} placeholder).
@@ -408,6 +517,90 @@ int SweepCli::run(Scenario scenario, std::ostream& out) {
   }
 
   write_sinks(summary_, csv_path, json_path);
+  return 0;
+}
+
+int SweepCli::run_fleet_worker(const Scenario& scenario, std::ostream& out) {
+  fleet::WorkerOptions options;
+  options.fleet_dir = fleet_dir_;
+  options.worker = fleet_worker_;
+  options.ttl_seconds = fleet_ttl_seconds_;
+  options.batches = static_cast<std::uint32_t>(fleet_batches_flag_);
+  options.threads = threads_;
+  options.memory_budget_bytes = static_cast<std::uint64_t>(
+      mem_budget_gb_ * 1024.0 * 1024.0 * 1024.0);
+  if (snapshot_every_ticks_ > 0 || snapshot_every_seconds_ > 0.0) {
+    options.snapshot_every_ticks = snapshot_every_ticks_;
+    options.snapshot_every_seconds = snapshot_every_seconds_;
+  }
+  options.max_batches =
+      static_cast<std::uint64_t>(fleet_max_batches_flag_);
+
+  out << "fleet: worker '" << options.worker << "' joining " << fleet_dir_
+      << "\n";
+  const fleet::WorkerReport report =
+      fleet::run_worker(scenario, options, out);
+
+  if (!trace_path_.empty()) {
+    const std::string trace = trace_path_ + "." + options.worker;
+    obs::write_chrome_trace_file(trace, obs::snapshot(),
+                                 program_ + " " + scenario.name);
+    out << "trace: " << trace << "\n";
+  }
+  // A worker that stopped early (--fleet-max-batches) still succeeded;
+  // the fleet's overall completion lives in the done/ markers.
+  (void)report;
+  return 0;
+}
+
+int SweepCli::run_fleet_merge(const Scenario& scenario, std::ostream& out) {
+  const auto plan = fleet::try_load_plan(fleet_dir_);
+  if (!plan) {
+    std::cerr << "--fleet-merge: no plan.json in " << fleet_dir_
+              << " — is this a fleet directory?\n";
+    return 1;
+  }
+  // batches = 0: adopt the plan's batch count, validate everything else.
+  fleet::validate_plan_match(*plan, fleet::plan_for(scenario, 0));
+
+  auto checkpoint =
+      std::make_shared<Checkpoint>(scenario.name, scenario.master_seed);
+  const std::vector<std::string> files =
+      fleet::all_record_files(fleet_dir_);
+  for (const std::string& path : files) checkpoint->load_file(path);
+  print_checkpoint_warnings(checkpoint->stats());
+  const std::size_t done =
+      fleet::done_batches(fleet_dir_, plan->batches).size();
+  out << "fleet merge: " << checkpoint->size() << " replicate(s) from "
+      << files.size() << " record file(s), " << done << "/" << plan->batches
+      << " batches done\n";
+
+  const std::size_t tasks = scenario.cells.size() * scenario.replicates;
+  std::size_t missing = 0;
+  for (std::size_t task = 0; task < tasks; ++task) {
+    if (!checkpoint->contains(
+            task / scenario.replicates,
+            static_cast<std::uint32_t>(task % scenario.replicates))) {
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    std::cerr << "--fleet-merge: " << missing << " of " << tasks
+              << " replicates missing — the fleet has not finished (or "
+                 "lost records); start a worker with --fleet-dir to "
+                 "complete it\n";
+    return 1;
+  }
+
+  // Aggregate through the SAME Runner path an uninterrupted run uses —
+  // every task is re-ingested (none executes), and index-order
+  // aggregation makes the merged summaries byte-identical to a
+  // single-process sweep.
+  checkpoint_ = std::move(checkpoint);
+  RunnerOptions options = base_options();
+  summary_ = Runner(options).run(scenario);
+  print_summary(out, summary_);
+  write_sinks(summary_, csv_path_, json_path_);
   return 0;
 }
 

@@ -69,7 +69,15 @@ class SweepCli {
 
   bool merge_only() const noexcept { return merge_only_; }
 
+  /// True when parse() selected fleet mode (--fleet-dir): run() will
+  /// join the fleet as a worker (or merge it with --fleet-merge) instead
+  /// of executing the scenario directly.
+  bool fleet_mode() const noexcept { return !fleet_dir_.empty(); }
+
  private:
+  int run_fleet_worker(const Scenario& scenario, std::ostream& out);
+  int run_fleet_merge(const Scenario& scenario, std::ostream& out);
+
   ArgParser parser_;
   std::string program_;
   SweepSummary summary_;
@@ -89,6 +97,12 @@ class SweepCli {
   std::string log_level_ = "warn";
   std::string snapshot_dir_;
   std::string snapshot_every_spec_;
+  std::string fleet_dir_;
+  std::int64_t fleet_batches_flag_ = 0;
+  double fleet_ttl_seconds_ = 30.0;
+  std::string fleet_worker_;
+  std::int64_t fleet_max_batches_flag_ = 0;
+  bool fleet_merge_ = false;
 
   unsigned threads_ = 0;
   std::uint32_t shard_index_ = 0;

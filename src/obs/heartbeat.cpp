@@ -9,13 +9,15 @@
 #include "obs/memory.hpp"
 #include "support/check.hpp"
 #include "support/logging.hpp"
+#include "support/retry.hpp"
 
 namespace geogossip::obs {
 
 namespace {
 
-/// Heartbeat lines carry one free-form string (the scenario name); keep
-/// the escaping local rather than dragging in the sink's JSON helpers.
+/// Heartbeat lines carry a few free-form strings (scenario, worker,
+/// lease); keep the escaping local rather than dragging in the sink's
+/// JSON helpers.
 std::string json_escape_min(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -49,14 +51,24 @@ std::int64_t unix_millis_now() {
 
 }  // namespace
 
-Heartbeat::Heartbeat(Options options) : options_(std::move(options)) {
+Heartbeat::Heartbeat(Options options)
+    : options_(std::move(options)), total_(options_.total_replicates) {
   GG_CHECK_ARG(!options_.path.empty(), "Heartbeat: path must not be empty");
   GG_CHECK_ARG(options_.interval_seconds > 0.0,
                "Heartbeat: interval_seconds must be positive");
+  // A crashed predecessor can leave its half-written temp behind; the
+  // temp name is derived from our (unique-per-writer) path, so the
+  // debris is ours to sweep.
+  std::error_code ec;
+  if (std::filesystem::remove(options_.path + ".tmp", ec)) {
+    log_warn("heartbeat: swept stale temp file " + options_.path + ".tmp");
+  }
+  std::string image;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    beat_locked();
+    image = compose_locked();
   }
+  commit(image);
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -78,6 +90,16 @@ void Heartbeat::add_completed(std::uint64_t count) {
   completed_ += count;
 }
 
+void Heartbeat::add_total(std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ += count;
+}
+
+void Heartbeat::set_lease(std::string lease) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lease_ = std::move(lease);
+}
+
 void Heartbeat::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -86,9 +108,13 @@ void Heartbeat::stop() {
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  beat_locked();  // final beat carries the end-state counts
-  stopped_ = true;
+  std::string image;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    image = compose_locked();  // final beat carries the end-state counts
+    stopped_ = true;
+  }
+  commit(image);
 }
 
 std::uint64_t Heartbeat::beats() const {
@@ -102,11 +128,16 @@ void Heartbeat::loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
     if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
-    beat_locked();
+    const std::string image = compose_locked();
+    // Commit without the lock: a retrying filesystem must not block
+    // note_start/note_done callers on the simulation's hot path.
+    lock.unlock();
+    commit(image);
+    lock.lock();
   }
 }
 
-void Heartbeat::beat_locked() {
+std::string Heartbeat::compose_locked() {
   std::string line = "{\"record\":\"heartbeat\",\"scenario\":\"";
   line += json_escape_min(options_.scenario);
   line += "\",\"shard_index\":";
@@ -116,7 +147,7 @@ void Heartbeat::beat_locked() {
   line += ",\"completed\":";
   line += std::to_string(completed_);
   line += ",\"total\":";
-  line += std::to_string(options_.total_replicates);
+  line += std::to_string(total_);
   line += ",\"cell\":";
   line += std::to_string(current_cell_);
   line += ",\"replicate\":";
@@ -125,35 +156,44 @@ void Heartbeat::beat_locked() {
   line += std::to_string(max_rss_kb());
   line += ",\"flush_unix_ms\":";
   line += std::to_string(unix_millis_now());
+  if (!options_.worker.empty()) {
+    line += ",\"worker\":\"";
+    line += json_escape_min(options_.worker);
+    line += "\"";
+  }
+  if (!lease_.empty()) {
+    line += ",\"lease\":\"";
+    line += json_escape_min(lease_);
+    line += "\"";
+  }
   line += ",\"seq\":";
   line += std::to_string(seq_);
   line += "}\n";
   lines_ += line;
   ++seq_;
+  return lines_;
+}
 
+void Heartbeat::commit(const std::string& image) {
   // Write the whole image to a sibling temp file and rename it over the
   // target: readers either see the previous complete file or the new
-  // one, never a prefix of a line.
+  // one, never a prefix of a line.  Transient failures (shared-fs blips)
+  // are retried; a final failure is logged, never thrown — heartbeats
+  // must not kill the host sweep.
   const std::string tmp = options_.path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.is_open()) {
-      log_warn("heartbeat: cannot open " + tmp);
-      return;
-    }
-    out << lines_;
-    out.flush();
-    if (!out.good()) {
-      log_warn("heartbeat: write failed for " + tmp);
-      return;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, options_.path, ec);
-  if (ec) {
-    log_warn("heartbeat: rename to " + options_.path +
-                      " failed: " + ec.message());
-  }
+  retry_io_or_log(
+      RetryPolicy{}, "heartbeat: committing " + options_.path, [&] {
+        {
+          std::ofstream out(tmp, std::ios::trunc);
+          if (!out.is_open()) return false;
+          out << image;
+          out.flush();
+          if (!out.good()) return false;
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, options_.path, ec);
+        return !ec;
+      });
 }
 
 }  // namespace geogossip::obs

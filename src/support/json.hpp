@@ -1,0 +1,80 @@
+// Minimal strict JSON reader shared by the durable-state readers.
+//
+// This library writes all of its durable JSON itself (replicate records,
+// heartbeat lines, fleet lease/plan/done files), so a small strict parser
+// suffices: anything it rejects is by definition not a file this library
+// produced intact, and each caller applies its own tolerance policy
+// (skip-and-count for checkpoint lines, reclaim-or-restart for leases).
+// Extensions beyond RFC 8259 match what the writers emit: the non-finite
+// tokens NaN / Infinity / -Infinity (accepted by Python's json module),
+// and exact uint64 capture for digits-only tokens whose values exceed the
+// 2^53 double-exact range (seeds, XL transmission counts).
+#ifndef GEOGOSSIP_SUPPORT_JSON_HPP
+#define GEOGOSSIP_SUPPORT_JSON_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace geogossip {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t uint_value = 0;
+  bool is_uint = false;  ///< digits-only token: uint_value is exact
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> elements;
+
+  /// First member with `key`, or nullptr (objects only).
+  const JsonValue* get(std::string_view key) const noexcept {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses exactly one value followed by optional whitespace.  Throws
+  /// JsonParseError on anything else — callers decide whether a bad
+  /// document is skippable debris or a hard error.
+  JsonValue parse();
+
+ private:
+  void skip_ws();
+  char peek();
+  void expect(char c);
+  bool consume_literal(std::string_view literal);
+  JsonValue parse_value();
+  JsonValue parse_object();
+  JsonValue parse_array();
+  std::string parse_string();
+  JsonValue parse_number();
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: parse one complete JSON document.
+inline JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace geogossip
+
+#endif  // GEOGOSSIP_SUPPORT_JSON_HPP
